@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+once under ``benchmark.pedantic`` (so ``pytest benchmarks/
+--benchmark-only`` reports its wall time), prints the regenerated
+rows/series, and archives them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a regenerated table and archive it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation — interconnect bandwidth sensitivity (§2.4's NVLink premise).
+
+The paper's opening argument is that NVLink-class links make offloading
+viable where PCIe could not.  This sweep replays the Figure-1 analysis and
+the HMMS scheduler across link speeds — PCIe 3.0 x16 (~12 GB/s), the
+paper's measured NVLink 1.0 (34.1 GB/s), and NVLink 2.0 (~68 GB/s) — and
+checks that offload-ability and throughput degradation move the way the
+paper's reasoning predicts.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.throughput import compare_schedulers
+from repro.graph import build_training_graph
+from repro.models import resnet18, vgg19
+from repro.nn import init
+from repro.profile import P100_NVLINK, analyze_offloadability
+
+from _util import run_once, save_and_print
+
+LINKS = [
+    ("PCIe3-x16", 12.0e9),
+    ("NVLink1 (paper)", 34.1e9),
+    ("NVLink2", 68.0e9),
+]
+
+
+def test_ablation_offloadability_vs_link(benchmark):
+    def measure():
+        rows = []
+        with init.fast_init():
+            graph = build_training_graph(
+                resnet18(dataset="imagenet", num_classes=1000), 64)
+            for label, bandwidth in LINKS:
+                device = P100_NVLINK.with_(nvlink_bandwidth=bandwidth)
+                analysis = analyze_offloadability(graph, device)
+                rows.append((label, bandwidth / 1e9,
+                             analysis.total_offloadable
+                             / analysis.total_generated,
+                             len(analysis.starved_layers())))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    save_and_print("ablation_interconnect_fraction", format_table(
+        ["link", "GB/s", "offloadable/generated", "starved layers"],
+        rows, title="Ablation — ResNet-18 offload-ability vs link speed",
+    ))
+    fractions = [row[2] for row in rows]
+    assert fractions == sorted(fractions)          # faster link, more budget
+    assert fractions[0] < 0.45                     # PCIe is badly starved
+    starved = [row[3] for row in rows]
+    assert starved[0] >= starved[-1]
+
+
+def test_ablation_hmms_degradation_vs_link(benchmark):
+    def measure():
+        rows = []
+        with init.fast_init():
+            for label, bandwidth in LINKS:
+                device = P100_NVLINK.with_(nvlink_bandwidth=bandwidth)
+                comparison = compare_schedulers(vgg19(), batch_size=64,
+                                                device=device)
+                hmms = comparison.outcomes["hmms"]
+                rows.append((label, bandwidth / 1e9,
+                             hmms.plan.offload_fraction_used,
+                             100 * comparison.degradation("hmms"),
+                             100 * comparison.degradation("layerwise")))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    save_and_print("ablation_interconnect_throughput", format_table(
+        ["link", "GB/s", "offload frac", "HMMS degr %", "layer-wise degr %"],
+        rows, title="Ablation — VGG-19 scheduler cost vs link speed",
+    ))
+    # HMMS stays cheap at every link speed (it offloads only what the link
+    # can take); the layer-wise baseline hurts more on slower links.
+    for row in rows:
+        assert row[3] < row[4] + 1e-9
+    layerwise = [row[4] for row in rows]
+    assert layerwise[0] >= layerwise[-1]

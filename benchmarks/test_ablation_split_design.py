@@ -1,0 +1,77 @@
+"""Ablation — Split-CNN design choices (§3's knobs beyond the headline).
+
+- **Patch scheduling order** (§3.2's "flexibility of scheduling"):
+  depth-first (one patch traverses the whole region before the next
+  starts) vs breadth-first (all patches advance layer by layer).  The
+  memory benefit of splitting comes almost entirely from the depth-first
+  schedule.
+- **Split position / footnote 1**: choosing input splits outside
+  ``[lb, ub]`` is workable (negative padding) but abandons features and
+  costs accuracy.
+"""
+
+from repro.core import to_split_cnn
+from repro.experiments import ExperimentConfig, format_table
+from repro.experiments.accuracy import make_datasets, make_model
+from repro.experiments.training import train_classifier
+from repro.graph import build_training_graph
+from repro.hmms import HMMSPlanner
+from repro.models import vgg19
+from repro.nn import init
+
+from _util import run_once, save_and_print
+
+GIB = 1 << 30
+
+
+def test_ablation_patch_schedule(benchmark):
+    def measure():
+        rows = []
+        with init.fast_init():
+            model = to_split_cnn(vgg19(), depth=0.75, num_splits=(2, 2))
+            for order in ("depth_first", "breadth_first"):
+                graph = build_training_graph(model, 64, patch_order=order)
+                plan = HMMSPlanner(scheduler="hmms").plan(graph)
+                rows.append((order, plan.device_general_peak / GIB,
+                             len(graph.ops)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    save_and_print("ablation_patch_schedule", format_table(
+        ["patch order", "general peak GiB", "ops"],
+        rows, title="Ablation — patch scheduling order (split VGG-19 @ 64)",
+    ))
+    depth_first, breadth_first = rows[0][1], rows[1][1]
+    # Depth-first is what breaks the memory bottleneck into small,
+    # spread-out pieces (§2.4); breadth-first behaves like unsplit.
+    assert depth_first < 0.8 * breadth_first
+
+
+def test_ablation_out_of_range_split_position(benchmark):
+    """Footnote 1: out-of-range input splits degrade model accuracy."""
+    config = ExperimentConfig(model="small_resnet", epochs=6)
+
+    def train_at(position):
+        train_ds, test_ds = make_datasets(config)
+        base = make_model(config)
+        model = to_split_cnn(base, depth=0.7, num_splits=(2, 2),
+                             position=position)
+        result = train_classifier(model, train_ds, test_ds,
+                                  epochs=config.epochs,
+                                  batch_size=config.batch_size,
+                                  lr=config.lr, seed=config.seed)
+        return result.final_test_error
+
+    def measure():
+        return [(position, train_at(position))
+                for position in (0.5, 4.0)]
+
+    rows = run_once(benchmark, measure)
+    save_and_print("ablation_split_position", format_table(
+        ["split position", "final test error"],
+        rows,
+        title="Ablation — in-range (0.5) vs out-of-range (4.0) splits",
+    ))
+    in_range, out_of_range = rows[0][1], rows[1][1]
+    # Feature abandonment should not help; allow noise headroom.
+    assert out_of_range >= in_range - 0.05

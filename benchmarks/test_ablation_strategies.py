@@ -1,0 +1,68 @@
+"""Ablation — memory-saving strategy comparison (extension beyond the paper).
+
+The paper's related work positions recomputation-style techniques as
+orthogonal to offloading.  This benchmark puts the strategies side by
+side on VGG-19 (batch 64): no management, HMMS offloading, gradient
+checkpointing (byte-balanced segments), and checkpointing composed with
+HMMS offloading of the boundary tensors.
+
+Expected shape: offloading trades (almost) no time for memory when the
+link allows; checkpointing trades ~1 extra forward pass of time; Split-CNN
++ HMMS (Figure 10's configuration) dominates on this network.
+"""
+
+from repro.core import to_split_cnn
+from repro.experiments import format_table
+from repro.graph import build_training_graph
+from repro.graph.checkpoint import build_checkpointed_training_graph
+from repro.hmms import HMMSPlanner
+from repro.models import vgg19
+from repro.nn import init
+from repro.sim import GPUSimulator
+
+from _util import run_once, save_and_print
+
+GIB = 1 << 30
+
+
+def test_ablation_memory_strategies(benchmark):
+    def measure():
+        rows = []
+        simulator = GPUSimulator()
+        with init.fast_init():
+            plain = build_training_graph(vgg19(), 64)
+            checkpointed = build_checkpointed_training_graph(vgg19(), 64)
+            split = build_training_graph(
+                to_split_cnn(vgg19(), depth=0.75, num_splits=(2, 2)), 64)
+        for label, graph, scheduler in [
+            ("baseline", plain, "none"),
+            ("HMMS offload", plain, "hmms"),
+            ("checkpointing", checkpointed, "none"),
+            ("checkpoint + HMMS", checkpointed, "hmms"),
+            ("Split-CNN + HMMS (paper)", split, "hmms"),
+        ]:
+            plan = HMMSPlanner(scheduler=scheduler).plan(graph)
+            result = simulator.run(plan)
+            rows.append((label, plan.device_general_peak / GIB,
+                         result.total_time * 1e3,
+                         result.stall_time * 1e3))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    save_and_print("ablation_strategies", format_table(
+        ["strategy", "general peak GiB", "step ms", "stall ms"],
+        rows, title="Ablation — memory-saving strategies (VGG-19 @ 64)",
+    ))
+    by_label = {row[0]: row for row in rows}
+    baseline_peak = by_label["baseline"][1]
+    baseline_time = by_label["baseline"][2]
+
+    # Offloading: memory down, time ~flat.
+    assert by_label["HMMS offload"][1] < baseline_peak
+    assert by_label["HMMS offload"][2] < 1.1 * baseline_time
+    # Checkpointing: memory down, time up by roughly one forward pass.
+    assert by_label["checkpointing"][1] < baseline_peak
+    assert by_label["checkpointing"][2] > 1.15 * baseline_time
+    # The paper's combination wins the memory race on VGG.
+    peaks = {label: peak for label, peak, _, _ in rows}
+    assert peaks["Split-CNN + HMMS (paper)"] == min(peaks.values())

@@ -1,0 +1,32 @@
+"""E8 — Figure 10: maximum trainable batch size and throughput.
+
+Searches the largest batch fitting a 16 GB P100 for (a) the plain model
+with no offloading and (b) the Split-CNN (4 patches, depth ~75%) planned
+by HMMS — using the memory-efficient ResNet-18 variant exactly as §6.3.
+
+Paper's shape claims: ~6x batch for VGG-19 and ~2x for ResNet-18, at
+throughput costs of only 1.5% / 4.9%.
+"""
+
+from repro.experiments import render_fig10, run_fig10
+
+from _util import run_once, save_and_print
+
+
+def test_fig10_max_batch_and_throughput(benchmark):
+    results = run_once(benchmark, run_fig10)
+    save_and_print("fig10_batch_scaling", render_fig10(results))
+
+    vgg = results["vgg19"]
+    vgg_gain = vgg["split+hmms"].max_batch / vgg["baseline"].max_batch
+    assert vgg_gain > 3.0, f"VGG-19 batch gain {vgg_gain:.2f}x (paper 6x)"
+
+    resnet = results["resnet18"]
+    resnet_gain = resnet["split+hmms"].max_batch / resnet["baseline"].max_batch
+    assert resnet_gain > 1.5, \
+        f"ResNet-18 batch gain {resnet_gain:.2f}x (paper 2x)"
+
+    # Throughput at the enlarged batch stays near the baseline's
+    # (paper: 1.5% and 4.9% degradation).
+    assert vgg["split+hmms"].throughput_degradation < 0.10
+    assert resnet["split+hmms"].throughput_degradation < 0.10

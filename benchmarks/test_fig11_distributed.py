@@ -1,0 +1,32 @@
+"""E9 — Figure 11: projected distributed-training speedup of Split-CNN.
+
+Uses simulator-measured single-node forward/backward times for VGG-19
+(baseline batch 64) and its Split-CNN+HMMS variant at a 6x batch, then
+sweeps the interconnect bandwidth from 32 down to 0.5 Gbit/s with the
+paper's allreduce model (alpha = 0.8).
+
+Shape claims: the speedup is monotone in inverse bandwidth, exceeds 2x at
+the paper's 10 Gbit/s cloud-bandwidth point, approaches the batch ratio as
+bandwidth vanishes, and approaches ~1x when bandwidth is plentiful.
+"""
+
+from repro.experiments import render_fig11, run_fig11
+
+from _util import run_once, save_and_print
+
+
+def test_fig11_distributed_speedup(benchmark):
+    result = run_once(benchmark, run_fig11)
+    save_and_print("fig11_distributed", render_fig11(result))
+
+    speedups = [s for _, s in result.curve]
+    assert all(a >= b - 1e-9 for a, b in zip(speedups, speedups[1:])), \
+        "speedup must be non-increasing in bandwidth"
+
+    at_10g = result.speedup_at(10)
+    assert at_10g > 2.0, f"speedup {at_10g:.2f}x at 10 Gbit/s (paper: 2.1x)"
+
+    # Low-bandwidth limit approaches the batch-size ratio (6x here).
+    assert result.speedup_at(0.5) > 4.0
+    # High-bandwidth regime: little to gain.
+    assert result.speedup_at(32) < 2.0

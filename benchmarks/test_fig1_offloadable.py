@@ -1,0 +1,46 @@
+"""E1 / E10 — Figure 1 and the §6.2/§6.3 theoretical offload limits.
+
+Regenerates the per-layer and cumulative generated vs offload-able byte
+series for VGG-19 and ResNet-18 (plus ResNet-50 and the memory-efficient
+ResNet-18 used by §6.2/§6.3) and asserts the paper's shape claims:
+
+- VGG-19's intermediate results are completely offload-able;
+- ResNet-18 is only partially offload-able (~55% in the paper);
+- ResNet-50 sits lower still (~40%);
+- in-place-ABN ResNet-18 rises (to ~70%) but stays short of full.
+"""
+
+from repro.experiments import render_fig1, run_fig1
+
+from _util import run_once, save_and_print
+
+
+def test_fig1_offloadable_data(benchmark):
+    result = run_once(benchmark, lambda: run_fig1(batch_size=64))
+    save_and_print("fig1_offloadable", render_fig1(result))
+
+    assert result.analyses["vgg19"].fully_offloadable()
+    r18 = result.fraction("resnet18")
+    r18_me = result.fraction("resnet18-me")
+    r50 = result.fraction("resnet50")
+    assert 0.40 < r18 < 0.75, f"resnet18 ratio {r18} (paper ~0.55)"
+    assert 0.30 < r50 < r18, f"resnet50 ratio {r50} (paper ~0.40)"
+    assert r18 < r18_me < 1.0, f"resnet18-me ratio {r18_me} (paper ~0.70)"
+
+    # Memory-bound layers almost never have time to offload (Figure 1's
+    # per-layer message).
+    for name in ("vgg19", "resnet18"):
+        starved = {r.op_type for r in result.analyses[name].starved_layers()}
+        assert starved & {"maxpool2d", "batchnorm", "relu"}
+
+
+def test_fig1_per_layer_series(benchmark):
+    result = run_once(benchmark, lambda: run_fig1(batch_size=64,
+                                                  models=["vgg19"]))
+    save_and_print("fig1_vgg19_layers", render_fig1(result, per_layer=True))
+    rows = result.analyses["vgg19"].rows
+    # Early convolutions generate more than their own offload budget; the
+    # cumulative offload-able curve overtakes generated only later (the
+    # crossing visible in Figure 1a).
+    assert rows[1].cumulative_generated > rows[1].cumulative_offloadable
+    assert rows[-1].cumulative_offloadable > rows[-1].cumulative_generated

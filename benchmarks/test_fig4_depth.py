@@ -1,0 +1,49 @@
+"""E2 — Figure 4: effect of splitting depth on test error.
+
+Trains the scaled-down VGG-like and ResNet-like models at splitting
+depths {0, 12.5, 25, 37.5, 50}% with 4 patches and reports the final test
+error per depth.  The paper's shape claim: error degrades slowly and
+approximately monotonically with depth.
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, format_table, sweep_depth
+
+from _util import run_once, save_and_print
+
+DEPTHS = (0.0, 0.125, 0.25, 0.375, 0.5)
+
+
+def _run(model: str, lr: float):
+    config = ExperimentConfig(model=model, lr=lr)
+    return sweep_depth(config, depths=DEPTHS)
+
+
+def _report(name: str, points) -> None:
+    save_and_print(name, format_table(
+        ["requested depth", "achieved depth", "final error", "best error"],
+        [(p.label, f"{p.achieved_depth:.1%}", p.test_error, p.best_error)
+         for p in points],
+        title=f"Figure 4 ({name}) — splitting depth vs test error",
+    ))
+
+
+def test_fig4_depth_resnet(benchmark):
+    points = run_once(benchmark, lambda: _run("small_resnet", 0.05))
+    _report("fig4_depth_resnet", points)
+    errors = [p.test_error for p in points]
+    # Shape claims: the deepest split is worse than the unsplit baseline,
+    # and degradation stays bounded (paper: approximately linear, small).
+    assert errors[-1] >= errors[0]
+    assert errors[-1] - errors[0] < 0.35
+    # Roughly monotone: the overall linear trend is upward.
+    slope = np.polyfit([p.achieved_depth for p in points], errors, 1)[0]
+    assert slope >= 0
+
+
+def test_fig4_depth_vgg(benchmark):
+    points = run_once(benchmark, lambda: _run("small_vgg", 0.01))
+    _report("fig4_depth_vgg", points)
+    errors = [p.test_error for p in points]
+    assert errors[-1] >= errors[0] - 0.05

@@ -1,0 +1,45 @@
+"""E3 — Figure 5: effect of the number of splits on test error.
+
+Splits ~25% of the conv layers into {1, 2, 3, 4, 6, 9} spatial patches.
+Paper's shape claims: accuracy degrades slowly with more splits, and the
+ResNet family is less sensitive than VGG to the broken spatial
+communication.
+"""
+
+from repro.experiments import ExperimentConfig, format_table, sweep_num_splits
+
+from _util import run_once, save_and_print
+
+SPLIT_COUNTS = (1, 2, 3, 4, 6, 9)
+
+
+def _report(name: str, points) -> None:
+    save_and_print(name, format_table(
+        ["splits", "achieved depth", "final error", "best error"],
+        [(p.num_splits, f"{p.achieved_depth:.1%}", p.test_error, p.best_error)
+         for p in points],
+        title=f"Figure 5 ({name}) — number of splits vs test error",
+    ))
+
+
+def test_fig5_num_splits_resnet(benchmark):
+    config = ExperimentConfig(model="small_resnet")
+    points = run_once(
+        benchmark,
+        lambda: sweep_num_splits(config, split_counts=SPLIT_COUNTS, depth=0.25),
+    )
+    _report("fig5_splits_resnet", points)
+    baseline = points[0].test_error
+    worst = max(p.test_error for p in points)
+    # Degradation stays bounded even at 9 patches.
+    assert worst - baseline < 0.35
+
+
+def test_fig5_num_splits_vgg(benchmark):
+    config = ExperimentConfig(model="small_vgg", lr=0.01)
+    points = run_once(
+        benchmark,
+        lambda: sweep_num_splits(config, split_counts=SPLIT_COUNTS, depth=0.25),
+    )
+    _report("fig5_splits_vgg", points)
+    assert max(p.test_error for p in points) <= 1.0

@@ -1,0 +1,45 @@
+"""E4 — Figure 6: stochasticity of splitting.
+
+Trains deep-split (50%, 4 patches) models deterministically (SCNN) and
+stochastically (SSCNN, omega = 0.2, evaluated on the UNSPLIT network) and
+compares against the unsplit baseline.  Paper's shape claim: SSCNN is very
+competitive with the baseline and closes (sometimes reverses) the SCNN
+gap.
+"""
+
+from repro.experiments import ExperimentConfig, format_table, stochastic_comparison
+
+from _util import run_once, save_and_print
+
+
+def _report(name: str, results) -> None:
+    save_and_print(name, format_table(
+        ["variant", "final error", "best error", "achieved depth"],
+        [(label, p.test_error, p.best_error, f"{p.achieved_depth:.1%}")
+         for label, p in results.items()],
+        title=f"Figure 6 ({name}) — stochastic splitting",
+    ))
+
+
+def test_fig6_stochastic_resnet(benchmark):
+    config = ExperimentConfig(model="small_resnet")
+    results = run_once(benchmark,
+                       lambda: stochastic_comparison(config, depth=0.5))
+    _report("fig6_stochastic_resnet", results)
+    baseline = results["baseline"].test_error
+    sscnn = results["sscnn"].test_error
+    scnn = results["scnn"].test_error
+    # SSCNN (evaluated unsplit) competitive with baseline: within a small
+    # margin, and no worse than the catastrophic case.
+    assert sscnn <= baseline + 0.15
+    # The stochastic variant should not be dramatically worse than the
+    # deterministic split it regularizes.
+    assert sscnn <= scnn + 0.15
+
+
+def test_fig6_stochastic_vgg(benchmark):
+    config = ExperimentConfig(model="small_vgg", lr=0.01)
+    results = run_once(benchmark,
+                       lambda: stochastic_comparison(config, depth=0.5))
+    _report("fig6_stochastic_vgg", results)
+    assert set(results) == {"baseline", "scnn", "sscnn"}

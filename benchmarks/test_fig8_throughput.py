@@ -1,0 +1,36 @@
+"""E6 — Figure 8: training throughput under three scheduling methods.
+
+Plans and simulates VGG-19 and ResNet-50 (batch 64) under the no-offload
+baseline, the vDNN-style layer-wise scheduler, and the HMMS.  Shape claims
+(paper §6.2): HMMS throughput degradation is small (1.3% / 5.1% in the
+paper) and far below the layer-wise scheduler's (13.0% / 12.9%).
+"""
+
+from repro.experiments import render_fig8, run_fig8
+
+from _util import run_once, save_and_print
+
+
+def test_fig8_scheduling_throughput(benchmark):
+    comparisons = run_once(benchmark, lambda: run_fig8(batch_size=64))
+    save_and_print("fig8_throughput", render_fig8(comparisons))
+
+    for model_name, comparison in comparisons.items():
+        hmms = comparison.degradation("hmms")
+        layerwise = comparison.degradation("layerwise")
+        assert hmms < 0.07, f"{model_name}: HMMS degradation {hmms:.1%}"
+        assert layerwise > hmms, model_name
+        assert layerwise > 0.08, f"{model_name}: layer-wise {layerwise:.1%}"
+
+    # HMMS offloads at (or near) the theoretical limit while staying fast.
+    vgg_hmms = comparisons["vgg19"].outcomes["hmms"]
+    assert vgg_hmms.plan.offload_fraction_used == 1.0
+
+
+def test_fig8_memory_efficient_resnet18(benchmark):
+    """§6.3's supporting configuration: the in-place-ABN ResNet-18 used for
+    the Figure 10 batch-scaling study also schedules cleanly."""
+    comparisons = run_once(
+        benchmark, lambda: run_fig8(batch_size=64, models=["resnet18-me"]))
+    save_and_print("fig8_resnet18_me", render_fig8(comparisons))
+    assert comparisons["resnet18-me"].degradation("hmms") < 0.07

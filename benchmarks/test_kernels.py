@@ -1,0 +1,84 @@
+"""Microbenchmarks of the numeric substrate's hot kernels.
+
+Classic pytest-benchmark timing (multiple rounds) for the operations the
+accuracy experiments spend their time in: conv2d forward/backward, split
+conv execution, batch-norm, and a full train step of the miniature model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SplitScheme, split_conv2d, to_split_cnn
+from repro.data import ShapesDataset
+from repro.models import small_resnet
+from repro.nn import BatchNorm2d, CrossEntropyLoss
+from repro.optim import SGD
+from repro.tensor import Tensor, conv2d
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((8, 16, 32, 32)).astype(np.float32))
+    w = Tensor(rng.standard_normal((32, 16, 3, 3)).astype(np.float32) * 0.1,
+               requires_grad=True)
+    return x, w
+
+
+def test_bench_conv2d_forward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    out = benchmark(lambda: conv2d(x, w, None, stride=1, padding=1))
+    assert out.shape == (8, 32, 32, 32)
+
+
+def test_bench_conv2d_backward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    x = Tensor(x.data, requires_grad=True)
+    cotangent = np.ones((8, 32, 32, 32), dtype=np.float32)
+
+    def step():
+        x.grad = None
+        w.grad = None
+        conv2d(x, w, None, stride=1, padding=1).backward(cotangent)
+
+    benchmark(step)
+    assert x.grad is not None
+
+
+def test_bench_split_conv2d(benchmark, conv_inputs):
+    x, w = conv_inputs
+    scheme = SplitScheme.even(32, 2)
+    out = benchmark(lambda: split_conv2d(
+        x, w, None, (1, 1), ((1, 1), (1, 1)), scheme, scheme))
+    assert out.shape == (8, 32, 32, 32)
+
+
+def test_bench_batchnorm_train(benchmark):
+    rng = np.random.default_rng(0)
+    bn = BatchNorm2d(32)
+    x = Tensor(rng.standard_normal((16, 32, 16, 16)).astype(np.float32))
+    out = benchmark(lambda: bn(x))
+    assert out.shape == x.shape
+
+
+def test_bench_train_step_split_model(benchmark):
+    rng = np.random.default_rng(0)
+    dataset = ShapesDataset(num_samples=32, image_size=16, num_classes=4,
+                            seed=0)
+    x, y = dataset.batch(range(16))
+    model = to_split_cnn(
+        small_resnet(num_classes=4, input_size=16, widths=(8, 16), rng=rng),
+        depth=0.7, num_splits=(2, 2))
+    optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+    criterion = CrossEntropyLoss()
+    inputs = Tensor(x)
+
+    def step():
+        optimizer.zero_grad()
+        loss = criterion(model(inputs), y)
+        loss.backward()
+        optimizer.step()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss.item())

@@ -1,0 +1,52 @@
+"""Memory-system walkthrough: Figure 1 analysis, the three schedulers,
+and nvprof-style stream timelines (paper §2.4, §4, §6.2, Figures 1/8/9).
+
+Run:  python examples/memory_planning.py [--model vgg19|resnet50]
+"""
+
+import argparse
+
+from repro.experiments import (
+    compare_schedulers, format_table, render_fig1, run_fig1,
+)
+from repro.experiments.throughput import FIG8_MODELS
+from repro.nn import init
+from repro.sim import render_timeline, utilization_summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="vgg19", choices=sorted(FIG8_MODELS))
+    parser.add_argument("--batch", type=int, default=64)
+    args = parser.parse_args()
+
+    print("Step 1 — profile generated vs offload-able data (Figure 1)")
+    print(render_fig1(run_fig1(batch_size=args.batch)))
+
+    print(f"\nStep 2 — plan + simulate {args.model} (batch {args.batch}) "
+          "under the three scheduling methods (Figure 8)")
+    with init.fast_init():
+        comparison = compare_schedulers(FIG8_MODELS[args.model](),
+                                        batch_size=args.batch)
+    print(format_table(
+        ["scheduler", "images/s", "degradation %", "stall ms",
+         "device peak GiB", "offloaded GiB"],
+        [(s, o.throughput, 100 * o.degradation,
+          o.result.stall_time * 1e3,
+          o.plan.device_peak / 2**30,
+          o.result.offloaded_bytes / 2**30)
+         for s, o in comparison.outcomes.items()],
+    ))
+
+    print("\nStep 3 — stream timelines (Figure 9): "
+          "# kernel, x stall, > offload, < prefetch")
+    for scheduler, outcome in comparison.outcomes.items():
+        print(f"\n--- {scheduler} ---")
+        print(render_timeline(outcome.result, width=90))
+        busy = utilization_summary(outcome.result)
+        print("utilization: " + ", ".join(
+            f"{stream} {fraction:.0%}" for stream, fraction in busy.items()))
+
+
+if __name__ == "__main__":
+    main()

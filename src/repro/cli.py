@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers so every paper figure
+is reproducible from a shell:
+
+    python -m repro fig1                 # generated vs offload-able data
+    python -m repro fig8                 # scheduler throughput comparison
+    python -m repro fig9                 # stream timelines
+    python -m repro fig10                # max batch size search
+    python -m repro fig11                # distributed speedup projection
+    python -m repro accuracy depth       # Figure 4 sweep (add --quick)
+    python -m repro plan vgg19 -b 64     # plan + simulate one model
+    python -m repro info resnet50 -b 64  # graph statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Split-CNN (ASPLOS 2019) reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("fig1", help="Figure 1: generated vs offload-able")
+    fig1.add_argument("-b", "--batch", type=int, default=64)
+    fig1.add_argument("--per-layer", action="store_true")
+
+    fig8 = sub.add_parser("fig8", help="Figure 8: scheduler throughput")
+    fig8.add_argument("-b", "--batch", type=int, default=64)
+
+    fig9 = sub.add_parser("fig9", help="Figure 9: stream timelines")
+    fig9.add_argument("-b", "--batch", type=int, default=64)
+    fig9.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("fig10", help="Figure 10: maximum batch size")
+
+    fig11 = sub.add_parser("fig11", help="Figure 11: distributed speedup")
+    fig11.add_argument("--factor", type=int, default=6,
+                       help="split batch enlargement factor")
+
+    accuracy = sub.add_parser(
+        "accuracy", help="Figures 4-6: accuracy studies (trains models)")
+    accuracy.add_argument("experiment",
+                          choices=["depth", "splits", "stochastic"])
+    accuracy.add_argument("--model", default="small_resnet",
+                          choices=["small_resnet", "small_vgg"])
+    accuracy.add_argument("--quick", action="store_true")
+
+    plan = sub.add_parser("plan", help="plan + simulate one training step")
+    plan.add_argument("model")
+    plan.add_argument("-b", "--batch", type=int, default=64)
+    plan.add_argument("--scheduler", default="hmms",
+                      choices=["none", "layerwise", "hmms"])
+    plan.add_argument("--split-depth", type=float, default=0.0)
+    plan.add_argument("--splits", type=int, default=4,
+                      help="total patches (1,2,3,4,6,9)")
+
+    info = sub.add_parser("info", help="graph statistics for a model")
+    info.add_argument("model")
+    info.add_argument("-b", "--batch", type=int, default=64)
+
+    export = sub.add_parser("export",
+                            help="export a model's training graph as DOT")
+    export.add_argument("model")
+    export.add_argument("-b", "--batch", type=int, default=4)
+    export.add_argument("-o", "--output", default="-",
+                        help="output file ('-' for stdout)")
+    export.add_argument("--max-ops", type=int, default=200)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations (imports are local so `--help` stays instant).
+# ----------------------------------------------------------------------
+def _cmd_fig1(args) -> int:
+    from .experiments import render_fig1, run_fig1
+    print(render_fig1(run_fig1(batch_size=args.batch),
+                      per_layer=args.per_layer))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from .experiments import render_fig8, run_fig8
+    print(render_fig8(run_fig8(batch_size=args.batch)))
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from .experiments import run_fig9_timelines
+    for scheduler, timeline in run_fig9_timelines(
+            batch_size=args.batch, width=args.width).items():
+        print(f"--- {scheduler} ---")
+        print(timeline)
+        print()
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from .experiments import render_fig10, run_fig10
+    print(render_fig10(run_fig10()))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from .experiments import render_fig11, run_fig11
+    print(render_fig11(run_fig11(split_batch_factor=args.factor)))
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from .experiments import (
+        ExperimentConfig, format_table, stochastic_comparison, sweep_depth,
+        sweep_num_splits,
+    )
+    if args.quick:
+        config = ExperimentConfig(model=args.model, num_classes=4,
+                                  train_samples=160, test_samples=80,
+                                  epochs=3)
+    else:
+        config = ExperimentConfig(model=args.model)
+    if args.experiment == "depth":
+        depths = (0.0, 0.5) if args.quick else (0.0, 0.125, 0.25, 0.375, 0.5)
+        points = sweep_depth(config, depths=depths)
+        print(format_table(
+            ["depth", "achieved", "final error"],
+            [(p.label, f"{p.achieved_depth:.1%}", p.test_error)
+             for p in points],
+            title="Figure 4 — splitting depth",
+        ))
+    elif args.experiment == "splits":
+        counts = (1, 4) if args.quick else (1, 2, 3, 4, 6, 9)
+        points = sweep_num_splits(config, split_counts=counts)
+        print(format_table(
+            ["splits", "achieved depth", "final error"],
+            [(p.num_splits, f"{p.achieved_depth:.1%}", p.test_error)
+             for p in points],
+            title="Figure 5 — number of splits",
+        ))
+    else:
+        results = stochastic_comparison(config, depth=0.5)
+        print(format_table(
+            ["variant", "final error", "best error"],
+            [(label, p.test_error, p.best_error)
+             for label, p in results.items()],
+            title="Figure 6 — stochastic splitting",
+        ))
+    return 0
+
+
+def _build_named_model(name: str, depth: float, splits: int):
+    from .core import to_split_cnn
+    from .experiments.accuracy import GRID_OF_SPLITS
+    from .models import build_model
+    from .nn import init
+
+    kwargs = {}
+    if name in ("vgg11", "resnet18", "resnet34"):
+        kwargs = {"dataset": "imagenet", "num_classes": 1000}
+    with init.fast_init():
+        model = build_model(name, **kwargs)
+        if depth > 0:
+            grid = GRID_OF_SPLITS.get(splits)
+            if grid is None:
+                raise SystemExit(
+                    f"--splits must be one of {sorted(GRID_OF_SPLITS)}")
+            model = to_split_cnn(model, depth=depth, num_splits=grid)
+    return model
+
+
+def _cmd_plan(args) -> int:
+    from .graph import build_training_graph
+    from .hmms import HMMSPlanner
+    from .sim import GPUSimulator
+
+    model = _build_named_model(args.model, args.split_depth, args.splits)
+    graph = build_training_graph(model, args.batch)
+    plan = HMMSPlanner(scheduler=args.scheduler).plan(graph)
+    result = GPUSimulator().run(plan)
+    gib = 1 << 30
+    print(f"model            : {model.name}")
+    print(f"scheduler        : {plan.scheduler}")
+    print(f"offload fraction : {plan.offload_fraction_used:.2f}")
+    print(f"device peak      : {plan.device_peak / gib:.2f} GiB "
+          f"(general {plan.device_general_peak / gib:.2f} + "
+          f"params {plan.device_param_bytes / gib:.2f})")
+    print(f"host pinned pool : {plan.host_pool_bytes / gib:.2f} GiB")
+    print(f"step time        : {result.total_time * 1e3:.1f} ms "
+          f"({result.throughput(args.batch):.1f} images/s)")
+    print(f"stall time       : {result.stall_time * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .graph import build_training_graph
+    from .graph.export import graph_stats
+
+    model = _build_named_model(args.model, 0.0, 1)
+    stats = graph_stats(build_training_graph(model, args.batch))
+    gib = 1 << 30
+    print(f"model               : {model.name} (batch {args.batch})")
+    print(f"ops                 : {stats.num_ops} "
+          f"({stats.num_forward_ops} fwd / {stats.num_backward_ops} bwd)")
+    print(f"tensors             : {stats.num_tensors}")
+    print(f"memory-bound ops    : {stats.memory_bound_fraction:.0%}")
+    print(f"parameters          : {stats.parameter_bytes / gib:.2f} GiB")
+    print(f"saved for backward  : {stats.saved_bytes / gib:.2f} GiB")
+    print(f"widest tensor       : {stats.widest_tensor_name} "
+          f"({stats.widest_tensor_bytes / gib:.2f} GiB)")
+    print(f"critical path       : {stats.critical_path_length} ops")
+    print("op histogram        : " + ", ".join(
+        f"{op_type} x{count}" for op_type, count in
+        stats.op_type_histogram[:8]))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .graph import build_training_graph
+    from .graph.export import to_dot
+
+    model = _build_named_model(args.model, 0.0, 1)
+    dot = to_dot(build_training_graph(model, args.batch),
+                 max_ops=args.max_ops)
+    if args.output == "-":
+        print(dot)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "accuracy": _cmd_accuracy,
+    "plan": _cmd_plan,
+    "info": _cmd_info,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Stochastic splitting (paper §3.3).
+
+For each minibatch a fresh output split scheme is drawn per spatial
+dimension: boundary ``s_i`` (i > 0) is sampled from
+
+    DiscreteUniform( ceil((i - w) * L / N), floor((i + w) * L / N) )
+
+where ``w`` (the paper's omega) is the *wiggle room*, ``L`` the dimension
+size and ``N`` the number of splits.  The paper fixes ``w = 0.2``.
+
+The intuition: randomizing boundaries prevents the network from relying on
+the fixed split structure, so the trained weights also work in the original
+*unsplit* architecture at inference time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .scheme import SplitScheme
+
+__all__ = ["StochasticSplitter", "sample_split"]
+
+DEFAULT_OMEGA = 0.2
+
+
+def sample_split(
+    total: int,
+    parts: int,
+    omega: float = DEFAULT_OMEGA,
+    rng: Optional[np.random.Generator] = None,
+) -> SplitScheme:
+    """Draw one stochastic split scheme for a dimension of size ``total``.
+
+    Degenerates to :meth:`SplitScheme.even` when ``omega == 0``.  Sampled
+    boundaries are clamped to remain strictly increasing and inside
+    ``(previous, total)`` — necessary for small dimensions where the paper's
+    sampling intervals may collide after rounding.
+    """
+    if not 0.0 <= omega < 0.5:
+        raise ValueError(f"omega must be in [0, 0.5), got {omega}")
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if parts > total:
+        raise ValueError(f"cannot split dimension {total} into {parts} parts")
+    gen = rng if rng is not None else np.random.default_rng()
+    boundaries = [0]
+    for i in range(1, parts):
+        low = math.ceil((i - omega) * total / parts)
+        high = math.floor((i + omega) * total / parts)
+        low = max(low, boundaries[-1] + 1)
+        high = min(high, total - (parts - i))
+        if high < low:
+            # Interval collapsed by clamping: fall back to the tightest
+            # feasible boundary.
+            value = low
+        else:
+            value = int(gen.integers(low, high + 1))
+        boundaries.append(value)
+    return SplitScheme(tuple(boundaries))
+
+
+class StochasticSplitter:
+    """Stateful sampler producing a fresh scheme per call (per minibatch)."""
+
+    def __init__(self, omega: float = DEFAULT_OMEGA, seed: Optional[int] = None) -> None:
+        if not 0.0 <= omega < 0.5:
+            raise ValueError(f"omega must be in [0, 0.5), got {omega}")
+        self.omega = omega
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, total: int, parts: int) -> SplitScheme:
+        return sample_split(total, parts, self.omega, self.rng)

@@ -1,0 +1,75 @@
+"""Training-time data augmentation (the standard CIFAR recipe).
+
+The paper's CIFAR baselines follow "established practice" (§5.2.1); the
+standard recipe pads each image by 4 pixels, takes a random 32x32 crop and
+flips horizontally with probability 1/2.  Transforms operate on whole
+NCHW batches and plug into :class:`~repro.data.DataLoader` via its
+``transform`` argument (applied at training time only — pass no transform
+to evaluation loaders).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RandomCropFlip", "Compose", "BatchTransform"]
+
+BatchTransform = Callable[[np.ndarray], np.ndarray]
+
+
+class RandomCropFlip:
+    """Pad-and-crop plus horizontal flip over an NCHW batch.
+
+    Deterministic under ``seed``; each call advances the stream so every
+    batch (and epoch) sees fresh augmentation.
+    """
+
+    def __init__(self, pad: int = 4, flip_probability: float = 0.5,
+                 seed: Optional[int] = None) -> None:
+        if pad < 0:
+            raise ValueError(f"pad must be >= 0, got {pad}")
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(
+                f"flip_probability must be in [0, 1], got {flip_probability}")
+        self.pad = pad
+        self.flip_probability = flip_probability
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected an NCHW batch, got {batch.shape}")
+        n, _, height, width = batch.shape
+        out = batch
+        if self.pad:
+            padded = np.pad(
+                batch,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                mode="constant",
+            )
+            rows = self.rng.integers(0, 2 * self.pad + 1, size=n)
+            cols = self.rng.integers(0, 2 * self.pad + 1, size=n)
+            out = np.empty_like(batch)
+            for index in range(n):
+                out[index] = padded[index, :,
+                                    rows[index]:rows[index] + height,
+                                    cols[index]:cols[index] + width]
+        if self.flip_probability > 0:
+            flips = self.rng.random(n) < self.flip_probability
+            if flips.any():
+                out = out.copy() if out is batch else out
+                out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class Compose:
+    """Apply batch transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[BatchTransform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch

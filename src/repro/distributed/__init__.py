@@ -1,0 +1,13 @@
+"""``repro.distributed`` — the §6.4 distributed-training projection."""
+
+from .data_parallel import AllreduceStats, DataParallelTrainer, RingAllreduce
+from .model import (
+    DEFAULT_ALPHA, TrainingProfile, allreduce_seconds, epoch_seconds,
+    speedup_curve,
+)
+
+__all__ = [
+    "TrainingProfile", "allreduce_seconds", "epoch_seconds", "speedup_curve",
+    "DEFAULT_ALPHA",
+    "RingAllreduce", "AllreduceStats", "DataParallelTrainer",
+]

@@ -1,0 +1,84 @@
+"""Analytical distributed-training performance model (paper §6.4).
+
+The paper extrapolates multi-node performance from single-node
+measurements using the bandwidth-optimal allreduce bound of Patarasuk &
+Yuan [31]: aggregating a gradient of ``|G|`` bytes takes at least
+``2|G| / B_min``.  With backward computation pipelined against gradient
+aggregation (Goyal et al. [15]):
+
+    T_epoch = |D| / N * ( T_forward + max(T_backward, 2|G| / (alpha * B)) )
+
+Split-CNN helps because its larger trainable batch size N reduces the
+*number* of parameter updates (network synchronizations) per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["TrainingProfile", "allreduce_seconds", "epoch_seconds",
+           "speedup_curve"]
+
+DEFAULT_ALPHA = 0.8
+
+
+@dataclass(frozen=True)
+class TrainingProfile:
+    """Single-node measurements for one configuration (base or Split-CNN)."""
+
+    name: str
+    batch_size: int
+    forward_seconds: float
+    backward_seconds: float
+    gradient_bytes: int
+
+    def step_seconds(self, bandwidth_bits_per_s: float,
+                     alpha: float = DEFAULT_ALPHA) -> float:
+        comm = allreduce_seconds(self.gradient_bytes, bandwidth_bits_per_s, alpha)
+        return self.forward_seconds + max(self.backward_seconds, comm)
+
+
+def allreduce_seconds(gradient_bytes: int, bandwidth_bits_per_s: float,
+                      alpha: float = DEFAULT_ALPHA) -> float:
+    """Lower-bound allreduce time: ``2|G| / (alpha * B)`` (ref. [31]).
+
+    ``bandwidth_bits_per_s`` is the network link rate in bits/s; ``alpha``
+    is the bandwidth-utilization efficiency (paper uses an optimistic 0.8).
+    """
+    if bandwidth_bits_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return 2.0 * gradient_bytes * 8.0 / (alpha * bandwidth_bits_per_s)
+
+
+def epoch_seconds(profile: TrainingProfile, dataset_size: int,
+                  bandwidth_bits_per_s: float,
+                  alpha: float = DEFAULT_ALPHA) -> float:
+    """``T_epoch`` under the paper's §6.4 model."""
+    steps = dataset_size / profile.batch_size
+    return steps * profile.step_seconds(bandwidth_bits_per_s, alpha)
+
+
+def speedup_curve(
+    baseline: TrainingProfile,
+    split: TrainingProfile,
+    bandwidths_gbit: Iterable[float],
+    dataset_size: int = 1_281_167,      # ImageNet train set, the paper's |D|
+    alpha: float = DEFAULT_ALPHA,
+) -> List[Tuple[float, float]]:
+    """(bandwidth Gbit/s, speedup) pairs — the series of Figure 11.
+
+    Speedup is baseline epoch time over Split-CNN epoch time at the same
+    link bandwidth; it approaches ``N_split / N_base`` as the network
+    becomes the bottleneck and ~1x (minus the Split-CNN compute overhead)
+    when bandwidth is plentiful.
+    """
+    curve: List[Tuple[float, float]] = []
+    for gbit in bandwidths_gbit:
+        bits = gbit * 1e9
+        base_epoch = epoch_seconds(baseline, dataset_size, bits, alpha)
+        split_epoch = epoch_seconds(split, dataset_size, bits, alpha)
+        curve.append((gbit, base_epoch / split_epoch))
+    return curve

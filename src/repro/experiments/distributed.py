@@ -1,0 +1,104 @@
+"""Experiment E9 — Figure 11: distributed-training speedup projection.
+
+Measures single-node forward/backward times for baseline VGG-19 and its
+Split-CNN+HMMS variant on the simulator (exactly §6.4's methodology of
+extrapolating from measured single-node performance), then sweeps the
+network bandwidth through the paper's 0.5-32 Gbit/s range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core import to_split_cnn
+from ..distributed import TrainingProfile, speedup_curve
+from ..graph import build_training_graph
+from ..hmms import HMMSPlanner
+from ..models import vgg19
+from ..nn import init
+from ..profile import CostModel, DeviceSpec, P100_NVLINK
+from .tables import format_series
+
+__all__ = ["Fig11Result", "run_fig11", "render_fig11", "PAPER_BANDWIDTHS"]
+
+PAPER_BANDWIDTHS: Tuple[float, ...] = (0.5, 1, 2, 4, 8, 10, 16, 32)
+
+
+@dataclass
+class Fig11Result:
+    baseline: TrainingProfile
+    split: TrainingProfile
+    curve: List[Tuple[float, float]]
+
+    def speedup_at(self, gbit: float) -> float:
+        for bandwidth, speedup in self.curve:
+            if abs(bandwidth - gbit) < 1e-9:
+                return speedup
+        raise KeyError(f"bandwidth {gbit} not in the sweep")
+
+
+def _profile_model(model, batch: int, device: DeviceSpec,
+                   scheduler: str) -> TrainingProfile:
+    graph = build_training_graph(model, batch)
+    plan = HMMSPlanner(device=device, scheduler=scheduler).plan(graph)
+    # Split forward / backward wall time: simulate and apportion the stall
+    # time to the phase it occurs in by simulating phases via the cost model
+    # plus the measured stall distribution.
+    from ..sim import GPUSimulator
+
+    result = GPUSimulator(device).run(plan)
+    cost = CostModel(device)
+    forward = cost.total_time(graph, "forward")
+    backward = cost.total_time(graph, "backward")
+    # Apportion the (small) stall overhead proportionally.
+    overhead = result.total_time - (forward + backward)
+    total_kernel = forward + backward
+    forward += overhead * (forward / total_kernel)
+    backward += overhead * (backward / total_kernel)
+    gradient_bytes = graph.parameter_bytes()
+    return TrainingProfile(
+        name=model.name, batch_size=batch,
+        forward_seconds=forward, backward_seconds=backward,
+        gradient_bytes=gradient_bytes,
+    )
+
+
+def run_fig11(
+    device: DeviceSpec = P100_NVLINK,
+    base_batch: int = 64,
+    split_batch_factor: int = 6,
+    bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
+    dataset_size: int = 1_281_167,
+    alpha: float = 0.8,
+) -> Fig11Result:
+    """Project Figure 11's speedup curve for VGG-19.
+
+    ``split_batch_factor`` defaults to the paper's headline 6x batch
+    enlargement for VGG-19 (Figure 10).
+    """
+    with init.fast_init():
+        baseline = _profile_model(vgg19(), base_batch, device, "none")
+        split_model = to_split_cnn(vgg19(), depth=0.75, num_splits=(2, 2))
+        split = _profile_model(split_model, base_batch * split_batch_factor,
+                               device, "hmms")
+    curve = speedup_curve(baseline, split, bandwidths,
+                          dataset_size=dataset_size, alpha=alpha)
+    return Fig11Result(baseline=baseline, split=split, curve=curve)
+
+
+def render_fig11(result: Fig11Result) -> str:
+    header = (
+        f"baseline: batch={result.baseline.batch_size} "
+        f"fwd={result.baseline.forward_seconds*1e3:.1f}ms "
+        f"bwd={result.baseline.backward_seconds*1e3:.1f}ms "
+        f"|G|={result.baseline.gradient_bytes/2**20:.0f}MiB\n"
+        f"split:    batch={result.split.batch_size} "
+        f"fwd={result.split.forward_seconds*1e3:.1f}ms "
+        f"bwd={result.split.backward_seconds*1e3:.1f}ms\n"
+    )
+    return header + format_series(
+        "Figure 11 — distributed speedup of Split-CNN (VGG-19)",
+        [(f"{bandwidth:g} Gbit/s", speedup) for bandwidth, speedup in result.curve],
+        x_label="bandwidth", y_label="speedup",
+    )

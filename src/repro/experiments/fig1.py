@@ -1,0 +1,89 @@
+"""Experiment E1 — Figure 1: generated vs offload-able data per layer.
+
+Profiles the forward training pass of VGG-19 and ResNet-18 (ImageNet
+shapes, batch 64) and reports the per-layer and cumulative generated /
+offload-able byte series, plus the §6.2 theoretical offload fractions for
+ResNet-50 and the memory-efficient ResNet-18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graph import build_training_graph
+from ..models import resnet18, resnet50, vgg19
+from ..nn import init
+from ..profile import DeviceSpec, OffloadAnalysis, P100_NVLINK, analyze_offloadability
+from .tables import format_table
+
+__all__ = ["Fig1Result", "run_fig1", "render_fig1"]
+
+MODEL_BUILDERS = {
+    "vgg19": lambda: vgg19(),
+    "resnet18": lambda: resnet18(dataset="imagenet", num_classes=1000),
+    "resnet18-me": lambda: resnet18(dataset="imagenet", num_classes=1000,
+                                    memory_efficient=True),
+    "resnet50": lambda: resnet50(),
+}
+
+
+@dataclass
+class Fig1Result:
+    analyses: Dict[str, OffloadAnalysis]
+
+    def fraction(self, model: str) -> float:
+        analysis = self.analyses[model]
+        return analysis.total_offloadable / analysis.total_generated
+
+
+def run_fig1(
+    batch_size: int = 64,
+    models: Optional[List[str]] = None,
+    device: DeviceSpec = P100_NVLINK,
+) -> Fig1Result:
+    """Compute the Figure-1 dataset for the requested models."""
+    names = models if models is not None else list(MODEL_BUILDERS)
+    analyses: Dict[str, OffloadAnalysis] = {}
+    with init.fast_init():
+        for name in names:
+            if name not in MODEL_BUILDERS:
+                raise ValueError(f"unknown fig1 model {name!r}")
+            graph = build_training_graph(MODEL_BUILDERS[name](), batch_size)
+            analyses[name] = analyze_offloadability(graph, device)
+    return Fig1Result(analyses=analyses)
+
+
+def render_fig1(result: Fig1Result, per_layer: bool = False) -> str:
+    """Figure-1 summary (and optional per-layer rows) as text."""
+    sections: List[str] = []
+    summary_rows = []
+    for name, analysis in result.analyses.items():
+        summary_rows.append((
+            name,
+            analysis.total_generated / 2**30,
+            analysis.total_offloadable / 2**30,
+            analysis.total_offloadable / analysis.total_generated,
+            "yes" if analysis.fully_offloadable() else "no",
+            len(analysis.starved_layers()),
+        ))
+    sections.append(format_table(
+        ["model", "generated GiB", "offloadable GiB", "ratio",
+         "fully offloadable", "starved layers"],
+        summary_rows, title="Figure 1 — generated vs offload-able data",
+    ))
+    if per_layer:
+        for name, analysis in result.analyses.items():
+            rows = [
+                (r.name, r.op_type, r.generated_bytes / 2**20,
+                 r.offloadable_bytes / 2**20,
+                 r.cumulative_generated / 2**30,
+                 r.cumulative_offloadable / 2**30)
+                for r in analysis.rows
+            ]
+            sections.append(format_table(
+                ["layer", "type", "gen MiB", "off MiB", "cum gen GiB",
+                 "cum off GiB"],
+                rows, title=f"\n{name} per-layer series",
+            ))
+    return "\n".join(sections)

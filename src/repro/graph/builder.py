@@ -1,0 +1,553 @@
+"""Forward-graph construction from ``repro.nn`` models (§4.1 steps 1-2).
+
+The builder walks a :class:`~repro.models.base.ConvClassifier` symbolically
+— no numerics, just shape propagation — and emits a serialized
+:class:`~repro.graph.ir.Graph`.  Split regions expand into explicit
+``split`` -> per-patch chains -> ``concat`` structure, which is what gives
+the HMMS the "memory bottleneck broken into smaller, spread-out pieces"
+the paper exploits (§2.4).
+
+Conventions (documented modelling choices):
+
+- ``saved`` on a forward op lists the tensors its backward twin re-reads —
+  the paper's per-layer "generated data" (Figure 1).  Convolutions and
+  linear layers save their *input* (for the weight gradient); ReLU saves
+  its *output* (the mask); max-pool saves its input; batch-norm saves its
+  input unless the model is flagged memory-efficient (§6.3, ref [6]), in
+  which case the input is recomputed in backward.
+- Convolution workspace models cuDNN's algorithm scratch: the im2col
+  buffer for the full minibatch, capped at ``workspace_cap`` (1 GiB by
+  default); 1x1 kernels need none.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+from ..core.region import SplitRegion, get_handler
+from ..core.scheme import SplitScheme
+from ..core.split_op import SplitPlan2d
+from ..models.base import ConvClassifier
+from ..models.resnet import BasicBlock, Bottleneck
+from ..nn import (
+    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool2d, Linear,
+    MaxPool2d, Module, ReLU, Sequential, Sigmoid, Tanh,
+)
+from .ir import Graph, TensorValue
+
+__all__ = ["GraphBuilder", "build_forward_graph"]
+
+GIB = 1 << 30
+
+
+class GraphBuilder:
+    """Stateful builder: one instance per graph construction."""
+
+    def __init__(self, batch_size: int, workspace_cap: int = GIB,
+                 memory_efficient_bn: bool = False,
+                 patch_order: str = "depth_first") -> None:
+        if patch_order not in ("depth_first", "breadth_first"):
+            raise ValueError(
+                f"patch_order must be 'depth_first' or 'breadth_first', "
+                f"got {patch_order!r}"
+            )
+        self.graph = Graph()
+        self.batch_size = batch_size
+        self.workspace_cap = workspace_cap
+        self.memory_efficient_bn = memory_efficient_bn
+        self.patch_order = patch_order
+        self._param_cache: dict[int, TensorValue] = {}
+        self._name_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _unique(self, base: str) -> str:
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}#{count}"
+
+    def param(self, module: Module, attribute: str, shape: Tuple[int, ...]) -> TensorValue:
+        """Parameter tensor, cached so split patches share one value."""
+        key = (id(module), attribute)
+        cached = self._param_cache.get(key)
+        if cached is not None:
+            return cached
+        tensor = self.graph.add_tensor(
+            self._unique(f"{type(module).__name__.lower()}.{attribute}"),
+            shape, kind="parameter",
+        )
+        self._param_cache[key] = tensor
+        return tensor
+
+    def conv_workspace(self, module: Conv2d, out_hw: Tuple[int, int]) -> int:
+        kh, kw = module.kernel_size
+        if kh == 1 and kw == 1:
+            return 0
+        im2col = (self.batch_size * module.in_channels * kh * kw
+                  * out_hw[0] * out_hw[1] * 4)
+        return min(im2col, self.workspace_cap)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, module: Module, value: TensorValue) -> TensorValue:
+        emitter = _find(_EMITTERS, module)
+        return emitter(self, module, value)
+
+    def emit_patch(self, module: Module, payload: Any, value: TensorValue,
+                   i: int, j: int) -> TensorValue:
+        emitter = _find(_PATCH_EMITTERS, module)
+        return emitter(self, module, payload, value, i, j)
+
+    # Individual op emitters (shared between whole-tensor and patch paths) --
+    def emit_conv(self, module: Conv2d, value: TensorValue,
+                  out_hw: Tuple[int, int], padding, tag: str = "") -> TensorValue:
+        out = self.graph.add_tensor(
+            self._unique(f"conv{tag}.out"),
+            (value.shape[0], module.out_channels, out_hw[0], out_hw[1]),
+        )
+        weight = self.param(module, "weight", module.weight.shape)
+        inputs = [value, weight]
+        if module.bias is not None:
+            inputs.append(self.param(module, "bias", module.bias.shape))
+        self.graph.add_op(
+            self._unique(f"conv{tag}"), "conv2d", inputs, [out],
+            attrs={
+                "kernel": module.kernel_size, "stride": module.stride,
+                "padding": padding, "in_channels": module.in_channels,
+                "out_channels": module.out_channels,
+            },
+            saved=[value],
+            workspace_bytes=self.conv_workspace(module, out_hw),
+        )
+        return out
+
+    def emit_pool(self, module: Module, kind: str, value: TensorValue,
+                  out_hw: Tuple[int, int], padding, tag: str = "") -> TensorValue:
+        out = self.graph.add_tensor(
+            self._unique(f"{kind}pool{tag}.out"),
+            (value.shape[0], value.shape[1], out_hw[0], out_hw[1]),
+        )
+        self.graph.add_op(
+            self._unique(f"{kind}pool{tag}"), f"{kind}pool2d", [value], [out],
+            attrs={"kernel": module.kernel_size, "stride": module.stride,
+                   "padding": padding},
+            saved=[value] if kind == "max" else [],
+        )
+        return out
+
+    def emit_bn(self, module: BatchNorm2d, value: TensorValue, tag: str = "") -> TensorValue:
+        out = self.graph.add_tensor(self._unique(f"bn{tag}.out"), value.shape)
+        weight = self.param(module, "weight", module.weight.shape)
+        bias = self.param(module, "bias", module.bias.shape)
+        self.graph.add_op(
+            self._unique(f"bn{tag}"), "batchnorm", [value, weight, bias], [out],
+            attrs={"num_features": module.num_features, "recompute": False},
+            saved=[value],
+        )
+        return out
+
+    def emit_relu(self, value: TensorValue, tag: str = "") -> TensorValue:
+        out = self.graph.add_tensor(self._unique(f"relu{tag}.out"), value.shape)
+        self.graph.add_op(
+            self._unique(f"relu{tag}"), "relu", [value], [out],
+            saved=[out], inplace_of=value,
+        )
+        return out
+
+    def emit_add(self, a: TensorValue, b: TensorValue, tag: str = "") -> TensorValue:
+        out = self.graph.add_tensor(self._unique(f"add{tag}.out"), a.shape)
+        self.graph.add_op(self._unique(f"add{tag}"), "add", [a, b], [out])
+        return out
+
+
+def _find(registry, module: Module) -> Callable:
+    for module_type, emitter in registry:
+        if isinstance(module, module_type):
+            return emitter
+    raise TypeError(f"no graph emitter for {type(module).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Whole-tensor emitters
+# ----------------------------------------------------------------------
+def _window_out(module, in_hw: Tuple[int, int]) -> Tuple[int, int]:
+    from ..core.scheme import WindowSpec
+
+    (pt, pb), (pl, pr) = module.padding
+    spec_h = WindowSpec(module.kernel_size[0], module.stride[0], pt, pb)
+    spec_w = WindowSpec(module.kernel_size[1], module.stride[1], pl, pr)
+    return (spec_h.output_size(in_hw[0]), spec_w.output_size(in_hw[1]))
+
+
+def _emit_sequential(builder: GraphBuilder, module: Sequential, value: TensorValue) -> TensorValue:
+    for item in module:
+        value = builder.emit(item, value)
+    return value
+
+
+def _emit_conv(builder: GraphBuilder, module: Conv2d, value: TensorValue) -> TensorValue:
+    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
+    return builder.emit_conv(module, value, out_hw, module.padding)
+
+
+def _emit_maxpool(builder: GraphBuilder, module: MaxPool2d, value: TensorValue) -> TensorValue:
+    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
+    return builder.emit_pool(module, "max", value, out_hw, module.padding)
+
+
+def _emit_avgpool(builder: GraphBuilder, module: AvgPool2d, value: TensorValue) -> TensorValue:
+    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
+    return builder.emit_pool(module, "avg", value, out_hw, module.padding)
+
+
+def _emit_bn(builder: GraphBuilder, module: BatchNorm2d, value: TensorValue) -> TensorValue:
+    return builder.emit_bn(module, value)
+
+
+def _emit_relu(builder: GraphBuilder, module: ReLU, value: TensorValue) -> TensorValue:
+    return builder.emit_relu(value)
+
+
+def _emit_gap(builder: GraphBuilder, module: GlobalAvgPool2d, value: TensorValue) -> TensorValue:
+    out = builder.graph.add_tensor(
+        builder._unique("gap.out"), (value.shape[0], value.shape[1], 1, 1)
+    )
+    builder.graph.add_op(builder._unique("gap"), "gap", [value], [out])
+    return out
+
+
+def _emit_flatten(builder: GraphBuilder, module: Flatten, value: TensorValue) -> TensorValue:
+    import numpy as np
+
+    lead = value.shape[:module.start_dim]
+    tail = int(np.prod(value.shape[module.start_dim:]))
+    out = builder.graph.add_tensor(builder._unique("flatten.out"), lead + (tail,))
+    builder.graph.add_op(
+        builder._unique("flatten"), "flatten", [value], [out], inplace_of=value,
+    )
+    return out
+
+
+def _emit_linear(builder: GraphBuilder, module: Linear, value: TensorValue) -> TensorValue:
+    out = builder.graph.add_tensor(
+        builder._unique("linear.out"), (value.shape[0], module.out_features)
+    )
+    weight = builder.param(module, "weight", module.weight.shape)
+    inputs = [value, weight]
+    if module.bias is not None:
+        inputs.append(builder.param(module, "bias", module.bias.shape))
+    builder.graph.add_op(
+        builder._unique("linear"), "linear", inputs, [out], saved=[value],
+        attrs={"in_features": module.in_features,
+               "out_features": module.out_features},
+    )
+    return out
+
+
+def _emit_dropout(builder: GraphBuilder, module: Dropout, value: TensorValue) -> TensorValue:
+    out = builder.graph.add_tensor(builder._unique("dropout.out"), value.shape)
+    mask = builder.graph.add_tensor(
+        builder._unique("dropout.mask"), value.shape, dtype_bytes=1,
+    )
+    op = builder.graph.add_op(
+        builder._unique("dropout"), "dropout", [value], [out, mask],
+        attrs={"p": module.p}, saved=[mask], inplace_of=value,
+    )
+    return out
+
+
+def _emit_activation(builder: GraphBuilder, module: Module, value: TensorValue) -> TensorValue:
+    out = builder.graph.add_tensor(
+        builder._unique(f"{type(module).__name__.lower()}.out"), value.shape
+    )
+    builder.graph.add_op(
+        builder._unique(type(module).__name__.lower()),
+        type(module).__name__.lower(), [value], [out], saved=[out],
+    )
+    return out
+
+
+def _emit_basic_block(builder: GraphBuilder, block: BasicBlock, value: TensorValue) -> TensorValue:
+    out_hw1 = _window_out(block.conv1, (value.shape[2], value.shape[3]))
+    out = builder.emit_conv(block.conv1, value, out_hw1, block.conv1.padding, tag=".b1")
+    out = builder.emit_bn(block.bn1, out, tag=".b1")
+    out = builder.emit_relu(out, tag=".b1")
+    out_hw2 = _window_out(block.conv2, (out.shape[2], out.shape[3]))
+    out = builder.emit_conv(block.conv2, out, out_hw2, block.conv2.padding, tag=".b2")
+    out = builder.emit_bn(block.bn2, out, tag=".b2")
+    if block.downsample is not None:
+        ds_conv, ds_bn = block.downsample[0], block.downsample[1]
+        ds_hw = _window_out(ds_conv, (value.shape[2], value.shape[3]))
+        identity = builder.emit_conv(ds_conv, value, ds_hw, ds_conv.padding, tag=".ds")
+        identity = builder.emit_bn(ds_bn, identity, tag=".ds")
+    else:
+        identity = value
+    out = builder.emit_add(out, identity)
+    return builder.emit_relu(out, tag=".join")
+
+
+def _emit_bottleneck(builder: GraphBuilder, block: Bottleneck, value: TensorValue) -> TensorValue:
+    out_hw1 = _window_out(block.conv1, (value.shape[2], value.shape[3]))
+    out = builder.emit_conv(block.conv1, value, out_hw1, block.conv1.padding, tag=".b1")
+    out = builder.emit_bn(block.bn1, out, tag=".b1")
+    out = builder.emit_relu(out, tag=".b1")
+    out_hw2 = _window_out(block.conv2, (out.shape[2], out.shape[3]))
+    out = builder.emit_conv(block.conv2, out, out_hw2, block.conv2.padding, tag=".b2")
+    out = builder.emit_bn(block.bn2, out, tag=".b2")
+    out = builder.emit_relu(out, tag=".b2")
+    out_hw3 = _window_out(block.conv3, (out.shape[2], out.shape[3]))
+    out = builder.emit_conv(block.conv3, out, out_hw3, block.conv3.padding, tag=".b3")
+    out = builder.emit_bn(block.bn3, out, tag=".b3")
+    if block.downsample is not None:
+        ds_conv, ds_bn = block.downsample[0], block.downsample[1]
+        ds_hw = _window_out(ds_conv, (value.shape[2], value.shape[3]))
+        identity = builder.emit_conv(ds_conv, value, ds_hw, ds_conv.padding, tag=".ds")
+        identity = builder.emit_bn(ds_bn, identity, tag=".ds")
+    else:
+        identity = value
+    out = builder.emit_add(out, identity)
+    return builder.emit_relu(out, tag=".join")
+
+
+def _emit_split_region(builder: GraphBuilder, region: SplitRegion,
+                       value: TensorValue) -> TensorValue:
+    if region.num_splits == (1, 1):
+        return builder.emit(region.body, value)
+    in_hw = (value.shape[2], value.shape[3])
+    handler = get_handler(region.body)
+    out_hw = handler.trace(region.body, in_hw)
+    # Static planning always uses the even scheme: stochastic schemes vary
+    # per minibatch, but their patch sizes are bounded by (1 + 2*omega)/N of
+    # the dimension, so the even plan is representative.
+    scheme_h = SplitScheme.even(out_hw[0], region.num_splits[0])
+    scheme_w = SplitScheme.even(out_hw[1], region.num_splits[1])
+    back = handler.back(region.body, scheme_h, scheme_w, in_hw, region.position)
+    in_h, in_w = back.in_scheme_h, back.in_scheme_w
+    h_sizes = in_h.part_sizes(in_hw[0])
+    w_sizes = in_w.part_sizes(in_hw[1])
+    patches: List[TensorValue] = []
+    for i in range(in_h.num_parts):
+        for j in range(in_w.num_parts):
+            patches.append(builder.graph.add_tensor(
+                builder._unique(f"split.patch{i}{j}"),
+                (value.shape[0], value.shape[1], h_sizes[i], w_sizes[j]),
+            ))
+    builder.graph.add_op(
+        builder._unique("split"), "split", [value], patches,
+        attrs={"scheme_h": in_h.boundaries, "scheme_w": in_w.boundaries},
+    )
+    grid = [(i, j) for i in range(in_h.num_parts) for j in range(in_w.num_parts)]
+    if builder.patch_order == "depth_first":
+        # One patch runs through the whole region before the next starts —
+        # the schedule that minimizes live patch state (paper §3.2's
+        # "flexibility of scheduling" put to memory use).
+        outputs: List[TensorValue] = [
+            builder.emit_patch(region.body, back.payload, patches[index], i, j)
+            for index, (i, j) in enumerate(grid)
+        ]
+    else:
+        # Breadth-first (layer-synchronous): every patch advances one body
+        # item at a time, like an unsplit execution — the ablation baseline.
+        values = list(patches)
+        for item, (_, item_payload) in zip(region.body, back.payload):
+            for index, (i, j) in enumerate(grid):
+                values[index] = builder.emit_patch(item, item_payload,
+                                                   values[index], i, j)
+        outputs = values
+    joined_shape = (
+        value.shape[0], outputs[0].shape[1], out_hw[0], out_hw[1],
+    )
+    joined = builder.graph.add_tensor(builder._unique("join.out"), joined_shape)
+    builder.graph.add_op(
+        builder._unique("join"), "concat", outputs, [joined],
+        attrs={"grid": region.num_splits},
+    )
+    return joined
+
+
+# ----------------------------------------------------------------------
+# Patch emitters (mirror repro.core.region handlers, symbolically)
+# ----------------------------------------------------------------------
+def _plan_out_hw(plan: SplitPlan2d, i: int, j: int) -> Tuple[int, int]:
+    h_sizes = plan.height.output_split.part_sizes(plan.height.output_size)
+    w_sizes = plan.width.output_split.part_sizes(plan.width.output_size)
+    return (h_sizes[i], w_sizes[j])
+
+
+def _patch_sequential(builder: GraphBuilder, module: Sequential, payload: Any,
+                      value: TensorValue, i: int, j: int) -> TensorValue:
+    for item, (_, item_payload) in zip(module, payload):
+        value = builder.emit_patch(item, item_payload, value, i, j)
+    return value
+
+
+def _patch_conv(builder: GraphBuilder, module: Conv2d, plan: SplitPlan2d,
+                value: TensorValue, i: int, j: int) -> TensorValue:
+    return builder.emit_conv(module, value, _plan_out_hw(plan, i, j),
+                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+
+
+def _patch_maxpool(builder: GraphBuilder, module: MaxPool2d, plan: SplitPlan2d,
+                   value: TensorValue, i: int, j: int) -> TensorValue:
+    return builder.emit_pool(module, "max", value, _plan_out_hw(plan, i, j),
+                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+
+
+def _patch_avgpool(builder: GraphBuilder, module: AvgPool2d, plan: SplitPlan2d,
+                   value: TensorValue, i: int, j: int) -> TensorValue:
+    return builder.emit_pool(module, "avg", value, _plan_out_hw(plan, i, j),
+                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+
+
+def _patch_bn(builder: GraphBuilder, module: BatchNorm2d, payload: Any,
+              value: TensorValue, i: int, j: int) -> TensorValue:
+    return builder.emit_bn(module, value, tag=f".p{i}{j}")
+
+
+def _patch_relu(builder: GraphBuilder, module: ReLU, payload: Any,
+                value: TensorValue, i: int, j: int) -> TensorValue:
+    return builder.emit_relu(value, tag=f".p{i}{j}")
+
+
+def _patch_dropout(builder: GraphBuilder, module: Dropout, payload: Any,
+                   value: TensorValue, i: int, j: int) -> TensorValue:
+    return _emit_dropout(builder, module, value)
+
+
+def _patch_basic_block(builder: GraphBuilder, block: BasicBlock, payload: Any,
+                       value: TensorValue, i: int, j: int) -> TensorValue:
+    plan1, plan2, plan_ds = payload
+    tag = f".p{i}{j}"
+    out = builder.emit_conv(block.conv1, value, _plan_out_hw(plan1, i, j),
+                            plan1.patch_padding(i, j), tag=tag + ".b1")
+    out = builder.emit_bn(block.bn1, out, tag=tag + ".b1")
+    out = builder.emit_relu(out, tag=tag + ".b1")
+    out = builder.emit_conv(block.conv2, out, _plan_out_hw(plan2, i, j),
+                            plan2.patch_padding(i, j), tag=tag + ".b2")
+    out = builder.emit_bn(block.bn2, out, tag=tag + ".b2")
+    if block.downsample is not None:
+        ds_conv, ds_bn = block.downsample[0], block.downsample[1]
+        identity = builder.emit_conv(ds_conv, value, _plan_out_hw(plan_ds, i, j),
+                                     plan_ds.patch_padding(i, j), tag=tag + ".ds")
+        identity = builder.emit_bn(ds_bn, identity, tag=tag + ".ds")
+    else:
+        identity = value
+    out = builder.emit_add(out, identity, tag=tag)
+    return builder.emit_relu(out, tag=tag + ".join")
+
+
+def _patch_bottleneck(builder: GraphBuilder, block: Bottleneck, payload: Any,
+                      value: TensorValue, i: int, j: int) -> TensorValue:
+    plan1, plan2, plan3, plan_ds = payload
+    tag = f".p{i}{j}"
+    out = builder.emit_conv(block.conv1, value, _plan_out_hw(plan1, i, j),
+                            plan1.patch_padding(i, j), tag=tag + ".b1")
+    out = builder.emit_bn(block.bn1, out, tag=tag + ".b1")
+    out = builder.emit_relu(out, tag=tag + ".b1")
+    out = builder.emit_conv(block.conv2, out, _plan_out_hw(plan2, i, j),
+                            plan2.patch_padding(i, j), tag=tag + ".b2")
+    out = builder.emit_bn(block.bn2, out, tag=tag + ".b2")
+    out = builder.emit_relu(out, tag=tag + ".b2")
+    out = builder.emit_conv(block.conv3, out, _plan_out_hw(plan3, i, j),
+                            plan3.patch_padding(i, j), tag=tag + ".b3")
+    out = builder.emit_bn(block.bn3, out, tag=tag + ".b3")
+    if block.downsample is not None:
+        ds_conv, ds_bn = block.downsample[0], block.downsample[1]
+        identity = builder.emit_conv(ds_conv, value, _plan_out_hw(plan_ds, i, j),
+                                     plan_ds.patch_padding(i, j), tag=tag + ".ds")
+        identity = builder.emit_bn(ds_bn, identity, tag=tag + ".ds")
+    else:
+        identity = value
+    out = builder.emit_add(out, identity, tag=tag)
+    return builder.emit_relu(out, tag=tag + ".join")
+
+
+_EMITTERS: List[Tuple[Type[Module], Callable]] = [
+    (SplitRegion, _emit_split_region),
+    (Sequential, _emit_sequential),
+    (Conv2d, _emit_conv),
+    (MaxPool2d, _emit_maxpool),
+    (AvgPool2d, _emit_avgpool),
+    (BatchNorm2d, _emit_bn),
+    (ReLU, _emit_relu),
+    (GlobalAvgPool2d, _emit_gap),
+    (Flatten, _emit_flatten),
+    (Linear, _emit_linear),
+    (Dropout, _emit_dropout),
+    (BasicBlock, _emit_basic_block),
+    (Bottleneck, _emit_bottleneck),
+    (Sigmoid, _emit_activation),
+    (Tanh, _emit_activation),
+]
+
+_PATCH_EMITTERS: List[Tuple[Type[Module], Callable]] = [
+    (Sequential, _patch_sequential),
+    (Conv2d, _patch_conv),
+    (MaxPool2d, _patch_maxpool),
+    (AvgPool2d, _patch_avgpool),
+    (BatchNorm2d, _patch_bn),
+    (ReLU, _patch_relu),
+    (Dropout, _patch_dropout),
+    (BasicBlock, _patch_basic_block),
+    (Bottleneck, _patch_bottleneck),
+]
+
+
+def build_forward_graph(
+    model: ConvClassifier,
+    batch_size: int,
+    input_size: Optional[int] = None,
+    in_channels: int = 3,
+    num_classes: Optional[int] = None,
+    with_loss: bool = True,
+    workspace_cap: int = GIB,
+    patch_order: str = "depth_first",
+) -> Graph:
+    """Build the serialized forward graph for one training step of ``model``.
+
+    ``patch_order`` controls how split-region patches are serialized:
+    ``"depth_first"`` (one patch at a time — the memory-friendly schedule)
+    or ``"breadth_first"`` (all patches advance layer by layer).
+    """
+    size = input_size if input_size is not None else model.input_size
+    builder = GraphBuilder(
+        batch_size=batch_size,
+        workspace_cap=workspace_cap,
+        memory_efficient_bn=bool(getattr(model, "memory_efficient_bn", False)),
+        patch_order=patch_order,
+    )
+    graph = builder.graph
+    graph.name = model.name
+    value = graph.add_tensor("input", (batch_size, in_channels, size, size),
+                             kind="input")
+    value = builder.emit(model.features, value)
+    value = _emit_flatten(builder, Flatten(), value)
+    value = builder.emit(model.classifier, value)
+    if with_loss:
+        loss = graph.add_tensor("loss", (1,))
+        softmax = graph.add_tensor("softmax", value.shape)
+        graph.add_op("cross_entropy", "cross_entropy", [value], [loss, softmax],
+                     saved=[softmax])
+    if builder.memory_efficient_bn:
+        _apply_inplace_abn(graph)
+    graph.validate()
+    return graph
+
+
+def _apply_inplace_abn(graph: Graph) -> None:
+    """In-place activated batch-norm (paper §6.3, ref [6]).
+
+    Batch-norm layers whose output feeds straight into a ReLU can recompute
+    their normalized input from the activation output during backward, so
+    the BN input no longer needs to be kept alive.  BN layers feeding the
+    residual add (no fused activation) keep their saved input.
+    """
+    for op in graph.forward_ops():
+        if op.op_type != "batchnorm":
+            continue
+        out = graph.tensor(op.outputs[0])
+        if any(graph.ops[c].op_type == "relu" for c in out.consumers):
+            op.attrs["recompute"] = True
+            op.saved = []

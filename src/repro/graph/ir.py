@@ -1,0 +1,176 @@
+"""Static computation-graph IR (paper §4, "Computation Graph").
+
+The IR is purely symbolic — shapes and op attributes, no numerics.  It is
+what the HMMS plans over: nodes are serialized in execution order (the
+builder emits them topologically; the backward generator appends reversed
+backward ops, matching §4.1 step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TensorValue", "OpNode", "Graph", "FLOAT_BYTES"]
+
+FLOAT_BYTES = 4
+
+
+@dataclass
+class TensorValue:
+    """A tensor in the computation graph (the *conceptual* object; its
+    physical storage is a TSO assigned later by the HMMS)."""
+
+    id: int
+    name: str
+    shape: Tuple[int, ...]
+    kind: str = "activation"  # activation | input | parameter | gradient | saved_stat
+    dtype_bytes: int = FLOAT_BYTES
+    producer: Optional[int] = None          # op id
+    consumers: List[int] = field(default_factory=list)
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype_bytes
+
+    def __repr__(self) -> str:
+        return f"TensorValue({self.id}, {self.name!r}, {self.shape}, {self.kind})"
+
+
+@dataclass
+class OpNode:
+    """One operation in the serialized computation graph."""
+
+    id: int
+    name: str
+    op_type: str
+    inputs: List[int]
+    outputs: List[int]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    phase: str = "forward"                  # forward | backward
+    # Forward tensors this op keeps alive for its backward counterpart —
+    # the per-layer "generated data" of the paper's Figure 1.
+    saved: List[int] = field(default_factory=list)
+    workspace_bytes: int = 0
+    forward_of: Optional[int] = None        # for backward ops
+    # In-place execution hint: output may share the input's TSO (ReLU).
+    inplace_of: Optional[int] = None        # tensor id
+
+    def __repr__(self) -> str:
+        return f"OpNode({self.id}, {self.op_type}, {self.name!r}, {self.phase})"
+
+
+class Graph:
+    """A serialized computation graph with tensor bookkeeping."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.ops: List[OpNode] = []
+        self.tensors: Dict[int, TensorValue] = {}
+        self._next_tensor_id = 0
+        self._next_op_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_tensor(self, name: str, shape: Tuple[int, ...], kind: str = "activation",
+                   dtype_bytes: int = FLOAT_BYTES) -> TensorValue:
+        tensor = TensorValue(
+            id=self._next_tensor_id, name=name, shape=tuple(int(s) for s in shape),
+            kind=kind, dtype_bytes=dtype_bytes,
+        )
+        self._next_tensor_id += 1
+        self.tensors[tensor.id] = tensor
+        return tensor
+
+    def add_op(self, name: str, op_type: str, inputs: List[TensorValue],
+               outputs: List[TensorValue], attrs: Optional[Dict[str, Any]] = None,
+               phase: str = "forward", saved: Optional[List[TensorValue]] = None,
+               workspace_bytes: int = 0, forward_of: Optional[int] = None,
+               inplace_of: Optional[TensorValue] = None) -> OpNode:
+        op = OpNode(
+            id=self._next_op_id, name=name, op_type=op_type,
+            inputs=[t.id for t in inputs], outputs=[t.id for t in outputs],
+            attrs=dict(attrs or {}), phase=phase,
+            saved=[t.id for t in (saved or [])],
+            workspace_bytes=int(workspace_bytes),
+            forward_of=forward_of,
+            inplace_of=inplace_of.id if inplace_of is not None else None,
+        )
+        self._next_op_id += 1
+        self.ops.append(op)
+        for tensor in inputs:
+            tensor.consumers.append(op.id)
+        for tensor in outputs:
+            if tensor.producer is not None:
+                raise ValueError(
+                    f"tensor {tensor.name!r} already has producer {tensor.producer}"
+                )
+            tensor.producer = op.id
+        for tensor in (saved or []):
+            # A saved tensor is consumed again by this op's backward twin;
+            # record the forward op as a consumer so liveness sees the save.
+            if op.id not in tensor.consumers:
+                tensor.consumers.append(op.id)
+        return op
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def op_by_id(self, op_id: int) -> OpNode:
+        op = self.ops[op_id] if op_id < len(self.ops) and self.ops[op_id].id == op_id \
+            else next(o for o in self.ops if o.id == op_id)
+        return op
+
+    def tensor(self, tensor_id: int) -> TensorValue:
+        return self.tensors[tensor_id]
+
+    def forward_ops(self) -> List[OpNode]:
+        return [op for op in self.ops if op.phase == "forward"]
+
+    def backward_ops(self) -> List[OpNode]:
+        return [op for op in self.ops if op.phase == "backward"]
+
+    def saved_tensors(self) -> List[TensorValue]:
+        """All forward tensors kept alive for the backward pass (dedup'd)."""
+        seen = set()
+        result: List[TensorValue] = []
+        for op in self.forward_ops():
+            for tensor_id in op.saved:
+                if tensor_id not in seen:
+                    seen.add(tensor_id)
+                    result.append(self.tensors[tensor_id])
+        return result
+
+    def activation_tensors(self) -> Iterator[TensorValue]:
+        for tensor in self.tensors.values():
+            if tensor.kind in ("activation", "input"):
+                yield tensor
+
+    def parameter_bytes(self) -> int:
+        return sum(t.nbytes for t in self.tensors.values() if t.kind == "parameter")
+
+    def validate(self) -> None:
+        """Sanity-check the serialization: defs precede uses."""
+        position = {op.id: index for index, op in enumerate(self.ops)}
+        for op in self.ops:
+            for tensor_id in op.inputs:
+                tensor = self.tensors[tensor_id]
+                if tensor.producer is not None:
+                    if position[tensor.producer] > position[op.id]:
+                        raise ValueError(
+                            f"op {op.name!r} consumes tensor {tensor.name!r} "
+                            "before it is produced"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, ops={len(self.ops)}, "
+            f"tensors={len(self.tensors)})"
+        )

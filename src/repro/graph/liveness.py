@@ -1,0 +1,66 @@
+"""Tensor lifetime analysis over the serialized graph.
+
+Positions are indices into ``graph.ops`` (the serialized execution order).
+The HMMS uses lifetimes for reference counting (§4.2), offload/prefetch
+eligibility (§4.3) and static pool allocation (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ir import Graph
+
+__all__ = ["Lifetime", "compute_lifetimes"]
+
+
+@dataclass
+class Lifetime:
+    """Where a tensor is produced and consumed in the serialized order."""
+
+    tensor_id: int
+    produce_index: int                 # -1 for graph inputs / parameters
+    use_indices: List[int] = field(default_factory=list)
+
+    @property
+    def last_use(self) -> int:
+        return max(self.use_indices) if self.use_indices else self.produce_index
+
+    @property
+    def last_forward_use(self) -> Optional[int]:
+        forward_uses = [i for i in self.use_indices if i <= self.boundary]
+        return max(forward_uses) if forward_uses else None
+
+    @property
+    def first_backward_use(self) -> Optional[int]:
+        backward_uses = [i for i in self.use_indices if i > self.boundary]
+        return min(backward_uses) if backward_uses else None
+
+    # Set by compute_lifetimes: index of the last forward op.
+    boundary: int = -1
+
+    def crosses_boundary(self) -> bool:
+        """True when the tensor lives from the forward into the backward pass
+        — exactly the tensors worth offloading."""
+        return (
+            self.produce_index <= self.boundary
+            and self.first_backward_use is not None
+        )
+
+
+def compute_lifetimes(graph: Graph) -> Dict[int, Lifetime]:
+    """Lifetime for every tensor, keyed by tensor id."""
+    boundary = -1
+    for index, op in enumerate(graph.ops):
+        if op.phase == "forward":
+            boundary = index
+    lifetimes: Dict[int, Lifetime] = {}
+    position = {op.id: index for index, op in enumerate(graph.ops)}
+    for tensor in graph.tensors.values():
+        produce = position[tensor.producer] if tensor.producer is not None else -1
+        lifetime = Lifetime(tensor_id=tensor.id, produce_index=produce)
+        lifetime.boundary = boundary
+        lifetime.use_indices = sorted(position[op_id] for op_id in tensor.consumers)
+        lifetimes[tensor.id] = lifetime
+    return lifetimes

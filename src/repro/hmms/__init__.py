@@ -1,0 +1,20 @@
+"""``repro.hmms`` — the Heterogeneous Memory Management System (paper §4)."""
+
+from .layerwise import plan_layerwise
+from .offload import (
+    OffloadPlan, TransferPlan, plan_offload, plan_prefetch,
+    select_offload_candidates,
+)
+from .planner import SCHEDULERS, HMMSPlanner, MemoryPlan, OpSchedule
+from .pools import BumpPool, FirstFitPool, PoolError
+from .storage import StorageAssignment, assign_storage
+from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, POOL_HOST, TSO
+
+__all__ = [
+    "TSO", "POOL_DEVICE_GENERAL", "POOL_DEVICE_PARAM", "POOL_HOST",
+    "StorageAssignment", "assign_storage",
+    "FirstFitPool", "BumpPool", "PoolError",
+    "OffloadPlan", "TransferPlan", "plan_offload", "plan_prefetch",
+    "select_offload_candidates", "plan_layerwise",
+    "HMMSPlanner", "MemoryPlan", "OpSchedule", "SCHEDULERS",
+]

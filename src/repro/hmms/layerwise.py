@@ -1,0 +1,89 @@
+"""Layer-wise (vDNN-style) offload planning — the paper's baseline (§6.2).
+
+vDNN [32] offloads each intermediate result right after it is computed and
+frees it immediately after its consumer layer finishes, enforcing legality
+with a synchronization between the compute and memory streams *at every
+consumer layer*.  The eager per-layer synchronization is what degrades
+throughput on memory-bound layers: their execution is too short to hide
+the transfer, so the compute stream stalls (paper Figure 8/9).
+
+Prefetching mirrors this one layer ahead in the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph.ir import Graph
+from ..graph.liveness import Lifetime
+from ..hmms.storage import StorageAssignment
+from .offload import OffloadPlan, TransferPlan, _tso_last_forward_touch, \
+    select_offload_candidates
+
+__all__ = ["plan_layerwise"]
+
+
+def plan_layerwise(
+    graph: Graph,
+    assignment: StorageAssignment,
+    lifetimes: Dict[int, Lifetime],
+    fraction_cap: float = 1.0,
+    conv_only: bool = False,
+) -> OffloadPlan:
+    """Build a vDNN-style transfer plan.
+
+    Semantics per offloaded TSO (op positions in serialized order):
+
+    - offload starts when the last forward consumer starts executing;
+    - the compute stream synchronizes right after that same op (eager
+      "end of offload"), then the device copy is freed;
+    - prefetch is issued one backward op before the first backward use and
+      synchronized immediately before the use.
+
+    ``fraction_cap`` limits offloaded bytes exactly as in Algorithm 1 so
+    the comparison with HMMS is apples-to-apples (the paper constrains the
+    layer-wise baseline to the same theoretical offload limit, §6.2).
+    ``conv_only`` enables vDNN's gentler ``vdnn_conv`` policy as an
+    ablation: offload only tensors consumed by convolutions.
+    """
+    if not 0.0 <= fraction_cap <= 1.0:
+        raise ValueError(f"fraction_cap must be in [0, 1], got {fraction_cap}")
+    candidates = select_offload_candidates(graph, assignment, lifetimes)
+    candidate_bytes = sum(t.size for t in candidates)
+    budget = fraction_cap * candidate_bytes
+    if conv_only:
+        # vDNN's `vdnn_conv` policy: only offload tensors consumed by
+        # convolution layers — their kernels run long enough to hide part
+        # of the transfer, unlike the memory-bound layers.
+        candidates = [
+            tso for tso in candidates
+            if any(
+                graph.ops[consumer].op_type == "conv2d"
+                for tensor_id in tso.tensor_ids
+                for consumer in graph.tensor(tensor_id).consumers
+                if graph.ops[consumer].phase == "forward"
+            )
+        ]
+    plan = OffloadPlan(candidate_bytes=candidate_bytes)
+    boundary = next(iter(lifetimes.values())).boundary if lifetimes else -1
+    offloaded_total = 0
+    for tso in candidates:
+        if offloaded_total + tso.size > budget:
+            continue
+        ready = _tso_last_forward_touch(graph, assignment, lifetimes, tso)
+        uses = [
+            lifetimes[tensor_id].first_backward_use
+            for tensor_id in assignment.tensors_of(tso.id)
+            if lifetimes[tensor_id].first_backward_use is not None
+        ]
+        first_use = min(uses)
+        prefetch_start = max(boundary + 1, first_use - 1)
+        plan.transfers[tso.id] = TransferPlan(
+            tso_id=tso.id, size=tso.size,
+            offload_start=ready, offload_sync=ready,
+            prefetch_start=prefetch_start, prefetch_sync=first_use,
+        )
+        offloaded_total += tso.size
+        plan.sync_points.append(ready)
+    plan.offloaded_bytes = offloaded_total
+    return plan

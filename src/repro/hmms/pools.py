@@ -1,0 +1,117 @@
+"""Memory pools with static first-fit allocation (paper §4.4, HMMS step 5).
+
+The planner steps through the serialized op list allocating each TSO the
+first contiguous gap it fits in; frees merge back into the gap structure.
+Because the whole schedule is decided offline there is no runtime cost to
+this policy (the paper's point).
+
+A bump allocator (no address reuse) is provided as the ablation baseline
+to quantify what first-fit reuse buys.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FirstFitPool", "BumpPool", "PoolError"]
+
+
+class PoolError(RuntimeError):
+    """Raised on allocation failure or invalid frees."""
+
+
+class FirstFitPool:
+    """First-fit allocator over a contiguous region.
+
+    ``capacity=None`` means unbounded — used to *measure* the peak footprint
+    (for the maximum-batch-size search); a concrete capacity makes ``alloc``
+    raise when the plan does not fit.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "pool") -> None:
+        self.capacity = capacity
+        self.name = name
+        # Sorted list of allocated (offset, size, tag).
+        self._blocks: List[Tuple[int, int, object]] = []
+        self._by_tag: Dict[object, Tuple[int, int]] = {}
+        self.peak = 0
+        self.allocated = 0
+
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, tag: object) -> int:
+        """Allocate ``size`` bytes; returns the offset."""
+        if size < 0:
+            raise PoolError(f"negative allocation size {size}")
+        if tag in self._by_tag:
+            raise PoolError(f"tag {tag!r} already allocated in {self.name}")
+        offset = self._find_first_fit(size)
+        if self.capacity is not None and offset + size > self.capacity:
+            raise PoolError(
+                f"{self.name}: allocation of {size} bytes does not fit "
+                f"(capacity {self.capacity}, high water {self.high_water()})"
+            )
+        entry = (offset, size, tag)
+        index = bisect.bisect_left([b[0] for b in self._blocks], offset)
+        self._blocks.insert(index, entry)
+        self._by_tag[tag] = (offset, size)
+        self.allocated += size
+        self.peak = max(self.peak, self.high_water())
+        return offset
+
+    def free(self, tag: object) -> None:
+        entry = self._by_tag.pop(tag, None)
+        if entry is None:
+            raise PoolError(f"tag {tag!r} not allocated in {self.name}")
+        offset, size = entry
+        for index, (block_offset, block_size, block_tag) in enumerate(self._blocks):
+            if block_offset == offset and block_tag == tag:
+                del self._blocks[index]
+                self.allocated -= size
+                return
+        raise PoolError(f"internal inconsistency freeing {tag!r}")
+
+    # ------------------------------------------------------------------
+    def _find_first_fit(self, size: int) -> int:
+        cursor = 0
+        for block_offset, block_size, _ in self._blocks:
+            if block_offset - cursor >= size:
+                return cursor
+            cursor = max(cursor, block_offset + block_size)
+        return cursor
+
+    def high_water(self) -> int:
+        """Highest currently-used address (end of the last block)."""
+        if not self._blocks:
+            return 0
+        last_offset, last_size, _ = self._blocks[-1]
+        return last_offset + last_size
+
+    def live_bytes(self) -> int:
+        return self.allocated
+
+    def reset(self) -> None:
+        self._blocks.clear()
+        self._by_tag.clear()
+        self.peak = 0
+        self.allocated = 0
+
+
+class BumpPool(FirstFitPool):
+    """Monotone allocator: never reuses freed addresses (ablation baseline).
+
+    Measures how much address space a schedule would need without the
+    first-fit reuse of §4.4.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "bump") -> None:
+        super().__init__(capacity, name)
+        self._cursor = 0
+
+    def _find_first_fit(self, size: int) -> int:
+        offset = self._cursor
+        self._cursor += size
+        return offset
+
+    def high_water(self) -> int:
+        return self._cursor

@@ -1,0 +1,128 @@
+"""Storage assignment and optimization (paper §4.2, HMMS step 3).
+
+Walks the serialized graph assigning every tensor a TSO while keeping
+reference counters, then applies the paper's two optimizations:
+
+1. **In-place ReLU** — a ReLU's output may reuse its input's TSO when the
+   reference counter shows no other tensor needs that storage (the ReLU
+   input itself is not consumed by any later op and is not saved for
+   backward).  The same mechanism covers pure view ops (flatten) and
+   in-place-eligible backward ops.
+2. **Summation error storage object sharing** — the backward of a
+   summation produces error terms that are all equal to the upstream
+   error, so all of them (and the upstream error itself) may occupy one
+   TSO.
+
+Parameters and parameter gradients go to the dedicated device parameter
+pool (§4.4); everything else goes to the device general pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..graph.ir import Graph, TensorValue
+from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, TSO
+
+__all__ = ["StorageAssignment", "assign_storage"]
+
+
+@dataclass
+class StorageAssignment:
+    """Mapping from tensors to TSOs plus optimization statistics."""
+
+    tso_of: Dict[int, int] = field(default_factory=dict)      # tensor id -> tso id
+    tsos: Dict[int, TSO] = field(default_factory=dict)
+    inplace_relu_applied: int = 0
+    summation_shares_applied: int = 0
+    view_shares_applied: int = 0
+
+    def tso_for_tensor(self, tensor_id: int) -> TSO:
+        return self.tsos[self.tso_of[tensor_id]]
+
+    def tensors_of(self, tso_id: int) -> list:
+        return self.tsos[tso_id].tensor_ids
+
+    def total_bytes(self, pool: str) -> int:
+        return sum(t.size for t in self.tsos.values() if t.pool == pool)
+
+
+def _is_last_reader(graph: Graph, tensor: TensorValue, op_id: int) -> bool:
+    """True when ``op_id`` is the only remaining consumer of ``tensor`` —
+    the reference-counter condition for in-place reuse."""
+    return all(consumer == op_id for consumer in tensor.consumers)
+
+
+def assign_storage(
+    graph: Graph,
+    inplace_relu: bool = True,
+    share_summation: bool = True,
+    share_views: bool = True,
+) -> StorageAssignment:
+    """Assign a TSO to every tensor in ``graph`` (serialized order)."""
+    assignment = StorageAssignment()
+    next_tso = 0
+
+    def new_tso(tensor: TensorValue, pool: str) -> TSO:
+        nonlocal next_tso
+        tso = TSO(id=next_tso, pool=pool)
+        next_tso += 1
+        tso.add_tensor(tensor.id, tensor.nbytes)
+        assignment.tsos[tso.id] = tso
+        assignment.tso_of[tensor.id] = tso.id
+        return tso
+
+    def share(tensor: TensorValue, with_tensor_id: int) -> TSO:
+        tso = assignment.tso_for_tensor(with_tensor_id)
+        tso.add_tensor(tensor.id, tensor.nbytes)
+        assignment.tso_of[tensor.id] = tso.id
+        return tso
+
+    # Graph inputs and parameters first (no producer).
+    for tensor in graph.tensors.values():
+        if tensor.producer is None:
+            pool = POOL_DEVICE_PARAM if tensor.kind in ("parameter",) \
+                else POOL_DEVICE_GENERAL
+            new_tso(tensor, pool)
+
+    for op in graph.ops:
+        for output_id in op.outputs:
+            tensor = graph.tensor(output_id)
+            if tensor.kind == "gradient":        # parameter gradient
+                new_tso(tensor, POOL_DEVICE_PARAM)
+                continue
+
+            # Summation error sharing: every output of add_bwd aliases the
+            # incoming error term.  With the optimization disabled the
+            # error terms are materialized as real copies (each in its own
+            # TSO) — the in-place path below must not pick them up either.
+            if op.op_type == "add_bwd" and op.attrs.get("shared_value"):
+                if share_summation:
+                    share(tensor, op.inputs[0])
+                    assignment.summation_shares_applied += 1
+                else:
+                    new_tso(tensor, POOL_DEVICE_GENERAL)
+                continue
+
+            # View ops always alias (flatten and friends).
+            if share_views and op.op_type in ("flatten", "flatten_bwd"):
+                share(tensor, op.inputs[0])
+                assignment.view_shares_applied += 1
+                continue
+
+            # In-place ReLU (§4.2 optimization 1) and in-place-eligible
+            # backward ops: reuse the input TSO when the refcount allows.
+            if inplace_relu and op.inplace_of is not None:
+                source = graph.tensor(op.inplace_of)
+                source_tso = assignment.tsos[assignment.tso_of[source.id]]
+                if (_is_last_reader(graph, source, op.id)
+                        and len(source_tso.tensor_ids) >= 1
+                        and source.kind not in ("parameter",)):
+                    share(tensor, source.id)
+                    assignment.inplace_relu_applied += 1
+                    continue
+
+            new_tso(tensor, POOL_DEVICE_GENERAL)
+
+    return assignment

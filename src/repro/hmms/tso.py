@@ -1,0 +1,42 @@
+"""Tensor Storage Objects (paper §4, "TSO").
+
+A TSO is a contiguous region of storage used by one or more tensors.
+Separating the conceptual tensor from its physical storage is what enables
+the in-place-ReLU and summation-sharing optimizations of §4.2: several
+tensors may map onto one TSO when conditions allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["TSO", "POOL_DEVICE_GENERAL", "POOL_DEVICE_PARAM", "POOL_HOST"]
+
+POOL_DEVICE_GENERAL = "device_general"
+POOL_DEVICE_PARAM = "device_param"
+POOL_HOST = "host"
+
+
+@dataclass
+class TSO:
+    """A contiguous storage region shared by ``tensor_ids``."""
+
+    id: int
+    pool: str = POOL_DEVICE_GENERAL
+    tensor_ids: List[int] = field(default_factory=list)
+    size: int = 0
+    # Reference counter maintained during storage assignment (§4.2): the
+    # number of tensors currently mapped to this TSO.
+    refcount: int = 0
+
+    def add_tensor(self, tensor_id: int, nbytes: int) -> None:
+        self.tensor_ids.append(tensor_id)
+        self.size = max(self.size, nbytes)
+        self.refcount += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"TSO({self.id}, pool={self.pool}, size={self.size}, "
+            f"tensors={len(self.tensor_ids)})"
+        )

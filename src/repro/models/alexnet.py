@@ -1,0 +1,59 @@
+"""AlexNet (Krizhevsky et al., 2012), torchvision's single-tower layout.
+
+Used by the paper for the ImageNet convergence study (Table 1, Figure 7).
+A CIFAR-adapted variant with small kernels is also provided.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Conv2d, Dropout, Linear, MaxPool2d, ReLU, Sequential
+from .base import ConvClassifier
+
+__all__ = ["alexnet"]
+
+
+def alexnet(num_classes: int = 1000, dataset: str = "imagenet",
+            rng: Optional[np.random.Generator] = None) -> ConvClassifier:
+    """Build AlexNet for ImageNet (224x224) or CIFAR (32x32) inputs."""
+    if dataset == "imagenet":
+        features = Sequential(
+            Conv2d(3, 64, kernel_size=11, stride=4, padding=2, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=3, stride=2),
+            Conv2d(64, 192, kernel_size=5, padding=2, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=3, stride=2),
+            Conv2d(192, 384, kernel_size=3, padding=1, rng=rng), ReLU(),
+            Conv2d(384, 256, kernel_size=3, padding=1, rng=rng), ReLU(),
+            Conv2d(256, 256, kernel_size=3, padding=1, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=3, stride=2),
+        )
+        classifier = Sequential(
+            Dropout(0.5), Linear(256 * 6 * 6, 4096, rng=rng), ReLU(),
+            Dropout(0.5), Linear(4096, 4096, rng=rng), ReLU(),
+            Linear(4096, num_classes, rng=rng),
+        )
+        input_size = 224
+    elif dataset == "cifar":
+        features = Sequential(
+            Conv2d(3, 64, kernel_size=3, stride=1, padding=1, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=2, stride=2),
+            Conv2d(64, 192, kernel_size=3, padding=1, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=2, stride=2),
+            Conv2d(192, 384, kernel_size=3, padding=1, rng=rng), ReLU(),
+            Conv2d(384, 256, kernel_size=3, padding=1, rng=rng), ReLU(),
+            Conv2d(256, 256, kernel_size=3, padding=1, rng=rng), ReLU(),
+            MaxPool2d(kernel_size=2, stride=2),
+        )
+        classifier = Linear(256 * 4 * 4, num_classes, rng=rng)
+        input_size = 32
+    else:
+        raise ValueError(f"dataset must be 'imagenet' or 'cifar', got {dataset!r}")
+    return ConvClassifier(
+        features=features,
+        classifier=classifier,
+        name=f"alexnet-{dataset}",
+        input_size=input_size,
+    )

@@ -1,0 +1,63 @@
+"""Common structure for every model in the zoo.
+
+All models are a :class:`ConvClassifier`: a ``features`` Sequential (convs,
+pools, norms, activations, possibly residual blocks, ending in global
+pooling for the ResNet family), a flatten, and a ``classifier`` head.
+The uniform structure is what lets :func:`repro.core.transform.to_split_cnn`
+transform any of them automatically.
+"""
+
+from __future__ import annotations
+
+from ..nn import Module, Sequential
+from ..tensor import Tensor, flatten
+
+__all__ = ["ConvClassifier"]
+
+
+class ConvClassifier(Module):
+    """A CNN classifier: ``classifier(flatten(features(x)))``.
+
+    Attributes
+    ----------
+    features: the convolutional trunk (a :class:`Sequential`).
+    classifier: the head (usually :class:`Linear` or a Sequential of them).
+    name: model identifier used in experiment tables.
+    input_size: expected spatial input side (32 for CIFAR-style, 224 for
+        ImageNet-style); informational, inputs of other sizes also work if
+        the classifier dimensions line up.
+    """
+
+    def __init__(
+        self,
+        features: Sequential,
+        classifier: Module,
+        name: str = "conv-classifier",
+        input_size: int = 32,
+    ) -> None:
+        super().__init__()
+        self.features = features
+        self.classifier = classifier
+        self.name = name
+        self.input_size = input_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = flatten(x, start_dim=1)
+        return self.classifier(x)
+
+    def clone_with_features(self, features: Sequential) -> "ConvClassifier":
+        """A new classifier sharing this model's head but with new features.
+
+        Used by the Split-CNN transform: parameters inside both ``features``
+        items and the classifier are shared by reference, so training the
+        transformed model trains the original weights.
+        """
+        clone = ConvClassifier(
+            features=features,
+            classifier=self.classifier,
+            name=self.name,
+            input_size=self.input_size,
+        )
+        clone.memory_efficient_bn = bool(getattr(self, "memory_efficient_bn", False))
+        return clone

@@ -1,0 +1,278 @@
+"""ResNet family (He et al., 2016) with split-execution handlers.
+
+Residual blocks are the reason the paper "only joins at residual block
+boundaries" (footnote 3): the skip connection forces the block's input and
+output split schemes to coincide, so blocks must be split as composite
+units.  :class:`BasicBlockHandler` / :class:`BottleneckHandler` implement
+that: schemes are propagated backwards through the main path, the shortcut
+convolution (1x1, possibly stride 2 — a ``k < s`` op that splits exactly)
+reuses the block-input scheme, and identity blocks force input scheme ==
+output scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.region import BackResult, SplitHandler, register_handler
+from ..core.scheme import SplitScheme, WindowSpec
+from ..core.split_op import SplitPlan2d, plan_split_1d
+from ..nn import (
+    BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, Module, ReLU,
+    Sequential,
+)
+from ..tensor import Tensor, conv2d, relu
+from ..tensor.ops_nn import IntPair
+from .base import ConvClassifier
+
+__all__ = ["BasicBlock", "Bottleneck", "resnet18", "resnet34", "resnet50"]
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection (ResNet-18/34)."""
+
+    expansion = 1
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.stride = stride
+        self.conv1 = Conv2d(in_planes, planes, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(planes, planes, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.downsample: Optional[Sequential] = Sequential(
+                Conv2d(in_planes, planes * self.expansion, 1, stride=stride,
+                       bias=False, rng=rng),
+                BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = self.downsample(x) if self.downsample is not None else x
+        return relu(out + identity)
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck with expansion 4 (ResNet-50/101/152)."""
+
+    expansion = 4
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.stride = stride
+        self.conv1 = Conv2d(in_planes, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.conv2 = Conv2d(planes, planes, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self.conv3 = Conv2d(planes, planes * self.expansion, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(planes * self.expansion)
+        self.relu = ReLU()
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.downsample: Optional[Sequential] = Sequential(
+                Conv2d(in_planes, planes * self.expansion, 1, stride=stride,
+                       bias=False, rng=rng),
+                BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        identity = self.downsample(x) if self.downsample is not None else x
+        return relu(out + identity)
+
+
+# ----------------------------------------------------------------------
+# Split handlers
+# ----------------------------------------------------------------------
+def _conv_specs(conv: Conv2d) -> Tuple[WindowSpec, WindowSpec]:
+    (pt, pb), (pl, pr) = conv.padding
+    return (
+        WindowSpec(conv.kernel_size[0], conv.stride[0], pt, pb),
+        WindowSpec(conv.kernel_size[1], conv.stride[1], pl, pr),
+    )
+
+
+def _trace_conv(conv: Conv2d, in_hw: IntPair) -> IntPair:
+    spec_h, spec_w = _conv_specs(conv)
+    return (spec_h.output_size(in_hw[0]), spec_w.output_size(in_hw[1]))
+
+
+def _plan_conv(conv: Conv2d, in_hw: IntPair, out_h: SplitScheme, out_w: SplitScheme,
+               position: float,
+               input_split: Optional[Tuple[SplitScheme, SplitScheme]] = None) -> SplitPlan2d:
+    spec_h, spec_w = _conv_specs(conv)
+    in_h = input_split[0] if input_split else None
+    in_w = input_split[1] if input_split else None
+    return SplitPlan2d(
+        height=plan_split_1d(spec_h, in_hw[0], out_h, position, input_split=in_h),
+        width=plan_split_1d(spec_w, in_hw[1], out_w, position, input_split=in_w),
+    )
+
+
+def _apply_conv(conv: Conv2d, x: Tensor, plan: SplitPlan2d, i: int, j: int) -> Tensor:
+    return conv2d(x, conv.weight, conv.bias, stride=conv.stride,
+                  padding=plan.patch_padding(i, j))
+
+
+class BasicBlockHandler(SplitHandler):
+    def trace(self, block: BasicBlock, in_hw: IntPair) -> IntPair:
+        mid = _trace_conv(block.conv1, in_hw)
+        return _trace_conv(block.conv2, mid)
+
+    def back(self, block: BasicBlock, scheme_h: SplitScheme, scheme_w: SplitScheme,
+             in_hw: IntPair, position: float) -> BackResult:
+        mid_hw = _trace_conv(block.conv1, in_hw)
+        plan2 = _plan_conv(block.conv2, mid_hw, scheme_h, scheme_w, position)
+        mid_schemes = (plan2.height.input_split, plan2.width.input_split)
+        if block.downsample is None:
+            # Identity skip: block input scheme must equal its output scheme.
+            in_schemes = (scheme_h, scheme_w)
+            plan1 = _plan_conv(block.conv1, in_hw, *mid_schemes, position,
+                               input_split=in_schemes)
+            plan_ds = None
+        else:
+            plan1 = _plan_conv(block.conv1, in_hw, *mid_schemes, position)
+            in_schemes = (plan1.height.input_split, plan1.width.input_split)
+            plan_ds = _plan_conv(block.downsample[0], in_hw, scheme_h, scheme_w,
+                                 position, input_split=in_schemes)
+        return BackResult(in_schemes[0], in_schemes[1], (plan1, plan2, plan_ds))
+
+    def apply(self, block: BasicBlock, x: Tensor, payload: Any, i: int, j: int) -> Tensor:
+        plan1, plan2, plan_ds = payload
+        out = block.relu(block.bn1(_apply_conv(block.conv1, x, plan1, i, j)))
+        out = block.bn2(_apply_conv(block.conv2, out, plan2, i, j))
+        if block.downsample is None:
+            identity = x
+        else:
+            identity = block.downsample[1](
+                _apply_conv(block.downsample[0], x, plan_ds, i, j)
+            )
+        return relu(out + identity)
+
+
+class BottleneckHandler(SplitHandler):
+    def trace(self, block: Bottleneck, in_hw: IntPair) -> IntPair:
+        mid = _trace_conv(block.conv1, in_hw)
+        mid = _trace_conv(block.conv2, mid)
+        return _trace_conv(block.conv3, mid)
+
+    def back(self, block: Bottleneck, scheme_h: SplitScheme, scheme_w: SplitScheme,
+             in_hw: IntPair, position: float) -> BackResult:
+        mid1_hw = _trace_conv(block.conv1, in_hw)
+        mid2_hw = _trace_conv(block.conv2, mid1_hw)
+        plan3 = _plan_conv(block.conv3, mid2_hw, scheme_h, scheme_w, position)
+        mid2_schemes = (plan3.height.input_split, plan3.width.input_split)
+        plan2 = _plan_conv(block.conv2, mid1_hw, *mid2_schemes, position)
+        mid1_schemes = (plan2.height.input_split, plan2.width.input_split)
+        if block.downsample is None:
+            in_schemes = (scheme_h, scheme_w)
+            plan1 = _plan_conv(block.conv1, in_hw, *mid1_schemes, position,
+                               input_split=in_schemes)
+            plan_ds = None
+        else:
+            plan1 = _plan_conv(block.conv1, in_hw, *mid1_schemes, position)
+            in_schemes = (plan1.height.input_split, plan1.width.input_split)
+            plan_ds = _plan_conv(block.downsample[0], in_hw, scheme_h, scheme_w,
+                                 position, input_split=in_schemes)
+        return BackResult(in_schemes[0], in_schemes[1], (plan1, plan2, plan3, plan_ds))
+
+    def apply(self, block: Bottleneck, x: Tensor, payload: Any, i: int, j: int) -> Tensor:
+        plan1, plan2, plan3, plan_ds = payload
+        out = block.relu(block.bn1(_apply_conv(block.conv1, x, plan1, i, j)))
+        out = block.relu(block.bn2(_apply_conv(block.conv2, out, plan2, i, j)))
+        out = block.bn3(_apply_conv(block.conv3, out, plan3, i, j))
+        if block.downsample is None:
+            identity = x
+        else:
+            identity = block.downsample[1](
+                _apply_conv(block.downsample[0], x, plan_ds, i, j)
+            )
+        return relu(out + identity)
+
+
+register_handler(BasicBlock, BasicBlockHandler())
+register_handler(Bottleneck, BottleneckHandler())
+
+
+# ----------------------------------------------------------------------
+# Model builders
+# ----------------------------------------------------------------------
+def _make_layer(block_cls, in_planes: int, planes: int, blocks: int, stride: int,
+                rng: Optional[np.random.Generator]) -> Tuple[List[Module], int]:
+    layers: List[Module] = [block_cls(in_planes, planes, stride=stride, rng=rng)]
+    in_planes = planes * block_cls.expansion
+    for _ in range(1, blocks):
+        layers.append(block_cls(in_planes, planes, stride=1, rng=rng))
+    return layers, in_planes
+
+
+def _resnet(block_cls, layer_blocks: List[int], num_classes: int, dataset: str,
+            name: str, rng: Optional[np.random.Generator],
+            memory_efficient: bool) -> ConvClassifier:
+    items: List[Module] = []
+    if dataset == "imagenet":
+        items.append(Conv2d(3, 64, 7, stride=2, padding=3, bias=False, rng=rng))
+        items.append(BatchNorm2d(64))
+        items.append(ReLU())
+        items.append(MaxPool2d(3, stride=2, padding=1))
+        input_size = 224
+    elif dataset == "cifar":
+        items.append(Conv2d(3, 64, 3, stride=1, padding=1, bias=False, rng=rng))
+        items.append(BatchNorm2d(64))
+        items.append(ReLU())
+        input_size = 32
+    else:
+        raise ValueError(f"dataset must be 'imagenet' or 'cifar', got {dataset!r}")
+    in_planes = 64
+    for planes, blocks, stride in zip((64, 128, 256, 512), layer_blocks,
+                                      (1, 2, 2, 2)):
+        layers, in_planes = _make_layer(block_cls, in_planes, planes, blocks,
+                                        stride, rng)
+        items.extend(layers)
+    items.append(GlobalAvgPool2d())
+    features = Sequential(*items)
+    classifier = Linear(512 * block_cls.expansion, num_classes, rng=rng)
+    model = ConvClassifier(
+        features=features, classifier=classifier,
+        name=f"{name}-{dataset}", input_size=input_size,
+    )
+    # Flag consumed by the graph builder: re-compute batch-norm inputs in the
+    # backward pass instead of keeping them alive (paper §6.3, ref. [6]).
+    model.memory_efficient_bn = memory_efficient
+    return model
+
+
+def resnet18(num_classes: int = 10, dataset: str = "cifar",
+             rng: Optional[np.random.Generator] = None,
+             memory_efficient: bool = False) -> ConvClassifier:
+    return _resnet(BasicBlock, [2, 2, 2, 2], num_classes, dataset, "resnet18",
+                   rng, memory_efficient)
+
+
+def resnet34(num_classes: int = 10, dataset: str = "cifar",
+             rng: Optional[np.random.Generator] = None,
+             memory_efficient: bool = False) -> ConvClassifier:
+    return _resnet(BasicBlock, [3, 4, 6, 3], num_classes, dataset, "resnet34",
+                   rng, memory_efficient)
+
+
+def resnet50(num_classes: int = 1000, dataset: str = "imagenet",
+             rng: Optional[np.random.Generator] = None,
+             memory_efficient: bool = False) -> ConvClassifier:
+    return _resnet(Bottleneck, [3, 4, 6, 3], num_classes, dataset, "resnet50",
+                   rng, memory_efficient)

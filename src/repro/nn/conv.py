@@ -1,0 +1,62 @@
+"""Convolution modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..tensor import Tensor, conv2d, normalize_pair, normalize_padding2d
+from ..tensor.ops_nn import IntPair, Padding2d
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution layer.
+
+    Unlike common frameworks, ``padding`` may be asymmetric per side
+    (``((top, bottom), (left, right))``) — this is what the Split-CNN
+    transformation produces for interior patches — and individual entries
+    may be negative (cropping), the paper's escape hatch for input splits
+    outside ``[lb, ub]``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, IntPair],
+        stride: Union[int, IntPair] = 1,
+        padding: Union[int, Sequence] = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size: IntPair = normalize_pair(kernel_size)
+        self.stride: IntPair = normalize_pair(stride)
+        self.padding: Padding2d = normalize_padding2d(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kh, kw), rng=rng),
+            name="conv.weight",
+        )
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)), name="conv.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None}"
+        )

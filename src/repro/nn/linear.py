@@ -1,0 +1,55 @@
+"""Fully-connected layer and Flatten."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, flatten
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Flatten"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=rng),
+            name="linear.weight",
+        )
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="linear.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}, bias={self.bias is not None}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions from ``start_dim`` onward."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return flatten(x, self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"

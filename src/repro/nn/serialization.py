@@ -1,0 +1,44 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model", "save_state_dict", "load_state_dict"]
+
+PathLike = Union[str, pathlib.Path]
+
+# npz member names cannot be arbitrary; state-dict keys with dots are fine,
+# but guard against collisions with the metadata key.
+_META_KEY = "__repro_meta__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not contain the key {_META_KEY!r}")
+    np.savez(path, **state, **{_META_KEY: np.array([1])})
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        return {key: archive[key] for key in archive.files if key != _META_KEY}
+
+
+def save_model(model: Module, path: PathLike) -> None:
+    """Checkpoint a module's parameters and buffers."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: PathLike, strict: bool = True) -> Module:
+    """Load a checkpoint into ``model`` in place; returns the model."""
+    model.load_state_dict(load_state_dict(path), strict=strict)
+    return model

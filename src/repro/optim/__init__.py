@@ -1,0 +1,6 @@
+"""``repro.optim`` — optimizers and learning-rate schedules."""
+
+from .scheduler import LRScheduler, MultiStepLR, StepLR
+from .sgd import SGD
+
+__all__ = ["SGD", "LRScheduler", "StepLR", "MultiStepLR"]

@@ -1,0 +1,9 @@
+"""``repro.sim`` — event-driven GPU/NVLink execution simulator."""
+
+from .engine import GPUSimulator, SimResult, SimulationError, TimelineEvent
+from .timeline import render_timeline, stall_profile, utilization_summary
+
+__all__ = [
+    "GPUSimulator", "SimResult", "SimulationError", "TimelineEvent",
+    "render_timeline", "stall_profile", "utilization_summary",
+]

@@ -1,0 +1,134 @@
+"""Winograd fast convolution F(2x2, 3x3) (Lavin & Gray, 2015).
+
+The paper's §2.2.1 singles out cuDNN's Winograd algorithm as a driver of
+the memory bottleneck: it makes 3x3 stride-1 convolutions much faster than
+their FLOP count suggests (2.25x fewer multiplies for F(2x2,3x3)) while
+*increasing* memory traffic for the transformed tiles — exactly the
+compute-to-memory-ratio shift that starves per-layer offload budgets.
+
+This module provides a numerically exact (up to floating-point rounding)
+Winograd forward path for 3x3 stride-1 convolutions, interchangeable with
+the im2col path and sharing its backward.  It exists both as a substrate
+in its own right and as the empirical justification for the cost model's
+``winograd_gain`` (see ``repro.profile.device``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .ops_nn import Conv2d as _Conv2dFunction
+from .ops_nn import IntPair, Padding2d, _pad_spatial, normalize_padding2d
+from .tensor import Tensor, as_tensor
+
+__all__ = ["winograd_conv2d", "winograd_forward", "MULTIPLY_REDUCTION"]
+
+# F(2x2, 3x3) transform matrices (Lavin & Gray, eq. 10-12).
+B_T = np.array([
+    [1.0, 0.0, -1.0, 0.0],
+    [0.0, 1.0, 1.0, 0.0],
+    [0.0, -1.0, 1.0, 0.0],
+    [0.0, 1.0, 0.0, -1.0],
+])
+G = np.array([
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0.0, 0.0, 1.0],
+])
+A_T = np.array([
+    [1.0, 1.0, 1.0, 0.0],
+    [0.0, 1.0, -1.0, -1.0],
+])
+
+# Arithmetic-complexity reduction of F(2x2,3x3): 36 multiplies per tile
+# vs 2*2*3*3 = 16... per-output 9 multiplies direct vs 4 transformed.
+MULTIPLY_REDUCTION = 36.0 / 16.0  # = 2.25
+
+
+def winograd_forward(x: np.ndarray, weight: np.ndarray,
+                     bias: Optional[np.ndarray],
+                     padding: Padding2d) -> np.ndarray:
+    """Winograd F(2x2,3x3) forward pass on raw arrays (stride 1 only)."""
+    if weight.shape[2:] != (3, 3):
+        raise ValueError(
+            f"Winograd F(2x2,3x3) needs a 3x3 kernel, got {weight.shape[2:]}"
+        )
+    xp = _pad_spatial(x, padding)
+    n, c, height, width = xp.shape
+    out_h, out_w = height - 2, width - 2
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"padded input {xp.shape} too small for a 3x3 window")
+
+    tiles_h = (out_h + 1) // 2
+    tiles_w = (out_w + 1) // 2
+    # Pad so the 4x4 input tiles (stride 2) cover the whole output.
+    need_h = 2 * tiles_h + 2
+    need_w = 2 * tiles_w + 2
+    if need_h > height or need_w > width:
+        xp = np.pad(xp, ((0, 0), (0, 0),
+                         (0, need_h - height), (0, need_w - width)))
+
+    sn, sc, sh, sw = xp.strides
+    tiles = as_strided(
+        xp,
+        shape=(n, c, tiles_h, tiles_w, 4, 4),
+        strides=(sn, sc, 2 * sh, 2 * sw, sh, sw),
+        writeable=False,
+    )
+
+    dtype = x.dtype if x.dtype.kind == "f" else np.float32
+    b_t = B_T.astype(dtype)
+    g = G.astype(dtype)
+    a_t = A_T.astype(dtype)
+
+    # U = G w G^T  per (K, C) filter.
+    transformed_weight = np.einsum("ij,kcjl,ml->kcim", g, weight, g)
+    # V = B^T d B  per tile.
+    transformed_tiles = np.einsum("ij,ncxyjl,ml->ncxyim", b_t, tiles, b_t)
+    # Elementwise products summed over input channels.
+    product = np.einsum("kcim,ncxyim->nkxyim", transformed_weight,
+                        transformed_tiles)
+    # Y = A^T m A  per tile -> 2x2 outputs.
+    out_tiles = np.einsum("ij,nkxyjl,ml->nkxyim", a_t, product, a_t)
+
+    out = out_tiles.transpose(0, 1, 2, 4, 3, 5).reshape(
+        n, weight.shape[0], 2 * tiles_h, 2 * tiles_w)
+    out = np.ascontiguousarray(out[:, :, :out_h, :out_w])
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out.astype(dtype, copy=False)
+
+
+class _WinogradConv2d(_Conv2dFunction):
+    """Winograd forward; reuses the im2col Conv2d backward (gradients of a
+    convolution do not depend on the forward algorithm)."""
+
+    def forward(self, x: np.ndarray, weight: np.ndarray,
+                bias: Optional[np.ndarray], stride: IntPair,
+                padding: Padding2d) -> np.ndarray:
+        if stride != (1, 1):
+            raise ValueError(f"Winograd conv requires stride 1, got {stride}")
+        # Bookkeeping the parent backward needs:
+        self.stride, self.padding = stride, padding
+        self.in_shape = x.shape
+        self.xp = _pad_spatial(x, padding)
+        self.weight = weight
+        self.has_bias = bias is not None
+        return winograd_forward(x, weight, bias, padding)
+
+
+def winograd_conv2d(x, weight, bias=None,
+                    padding: Union[int, Sequence] = 0) -> Tensor:
+    """Differentiable Winograd F(2x2,3x3) convolution (stride 1).
+
+    Produces the same values as :func:`repro.tensor.conv2d` up to
+    floating-point rounding; see ``tests/test_winograd.py``.
+    """
+    pad2d = normalize_padding2d(padding)
+    bias_t = as_tensor(bias) if bias is not None else None
+    return _WinogradConv2d.apply(as_tensor(x), as_tensor(weight), bias_t,
+                                 (1, 1), pad2d)

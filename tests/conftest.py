@@ -1,0 +1,50 @@
+"""Shared test utilities: numeric gradient checking and tiny fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+def numeric_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x0``."""
+    grad = np.zeros_like(x0, dtype=np.float64)
+    iterator = np.nditer(x0, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        plus = x0.copy()
+        plus[index] += eps
+        minus = x0.copy()
+        minus[index] -= eps
+        grad[index] = (fn(plus) - fn(minus)) / (2 * eps)
+    return grad
+
+
+def gradcheck(make_output, x0: np.ndarray, rtol: float = 1e-4,
+              atol: float = 1e-6, rng_seed: int = 0) -> None:
+    """Assert analytic gradient of ``make_output(Tensor)`` matches numerics.
+
+    ``make_output`` maps a float64 Tensor to an output Tensor; the check
+    contracts the output with a fixed random cotangent.
+    """
+    rng = np.random.default_rng(rng_seed)
+    x0 = x0.astype(np.float64)
+    tensor = Tensor(x0.copy(), requires_grad=True, dtype=np.float64)
+    out = make_output(tensor)
+    cotangent = rng.standard_normal(out.shape)
+    out.backward(cotangent)
+    assert tensor.grad is not None, "no gradient reached the input"
+
+    def scalar(x_data: np.ndarray) -> float:
+        value = make_output(Tensor(x_data, dtype=np.float64)).numpy()
+        return float((value * cotangent).sum())
+
+    numeric = numeric_gradient(scalar, x0)
+    np.testing.assert_allclose(tensor.grad, numeric, rtol=rtol, atol=atol)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.batch == 64 and not args.per_layer
+
+    def test_plan_options(self):
+        args = build_parser().parse_args(
+            ["plan", "vgg19", "-b", "32", "--scheduler", "layerwise",
+             "--split-depth", "0.5", "--splits", "9"])
+        assert args.model == "vgg19"
+        assert args.batch == 32
+        assert args.scheduler == "layerwise"
+        assert args.splits == 9
+
+    def test_accuracy_choices(self):
+        args = build_parser().parse_args(["accuracy", "depth", "--quick"])
+        assert args.experiment == "depth" and args.quick
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "small_vgg", "-b", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-bound ops" in out
+        assert "critical path" in out
+
+    def test_plan_none_scheduler(self, capsys):
+        assert main(["plan", "small_vgg", "-b", "4",
+                     "--scheduler", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "offload fraction : 0.00" in out
+        assert "step time" in out
+
+    def test_plan_with_split(self, capsys):
+        assert main(["plan", "small_resnet", "-b", "4",
+                     "--split-depth", "0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "split" in out
+
+    def test_plan_invalid_splits(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "small_vgg", "-b", "4",
+                  "--split-depth", "0.5", "--splits", "5"])
+
+    def test_fig1_small_batch(self, capsys):
+        assert main(["fig1", "-b", "8"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11", "--factor", "2"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(ValueError):
+            main(["info", "lenet"])
+
+
+class TestExport:
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "small_vgg", "-b", "2", "--max-ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "conv" in out
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        assert main(["export", "small_vgg", "-b", "2",
+                     "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")

@@ -1,0 +1,83 @@
+"""Tests for the §6.4 distributed-training performance model."""
+
+import pytest
+
+from repro.distributed import (
+    TrainingProfile, allreduce_seconds, epoch_seconds, speedup_curve,
+)
+
+
+BASE = TrainingProfile(name="base", batch_size=64,
+                       forward_seconds=0.1, backward_seconds=0.2,
+                       gradient_bytes=500 * 2**20)
+SPLIT = TrainingProfile(name="split", batch_size=384,
+                        forward_seconds=0.61, backward_seconds=1.22,
+                        gradient_bytes=500 * 2**20)
+
+
+class TestAllreduce:
+    def test_lower_bound_formula(self):
+        # 2|G| / (alpha * B), |G| in bytes, B in bits/s.
+        seconds = allreduce_seconds(10 * 2**20, 10e9, alpha=0.8)
+        assert seconds == pytest.approx(2 * 10 * 2**20 * 8 / (0.8 * 10e9))
+
+    def test_scales_inversely_with_bandwidth(self):
+        slow = allreduce_seconds(2**20, 1e9)
+        fast = allreduce_seconds(2**20, 10e9)
+        assert slow == pytest.approx(10 * fast)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            allreduce_seconds(1, 0)
+        with pytest.raises(ValueError):
+            allreduce_seconds(1, 1e9, alpha=0.0)
+        with pytest.raises(ValueError):
+            allreduce_seconds(1, 1e9, alpha=1.5)
+
+
+class TestEpochModel:
+    def test_compute_bound_regime(self):
+        # Huge bandwidth: comm hidden behind backward.
+        t = epoch_seconds(BASE, dataset_size=640, bandwidth_bits_per_s=1e15)
+        assert t == pytest.approx(10 * (0.1 + 0.2))
+
+    def test_bandwidth_bound_regime(self):
+        # Tiny bandwidth: epoch dominated by allreduce.
+        comm = allreduce_seconds(BASE.gradient_bytes, 1e8)
+        t = epoch_seconds(BASE, dataset_size=640, bandwidth_bits_per_s=1e8)
+        assert t == pytest.approx(10 * (0.1 + comm))
+
+    def test_max_semantics(self):
+        # The pipelined model takes max(backward, comm), not the sum.
+        bandwidth = 1e9
+        comm = allreduce_seconds(BASE.gradient_bytes, bandwidth)
+        step = BASE.step_seconds(bandwidth)
+        assert step == pytest.approx(BASE.forward_seconds
+                                     + max(BASE.backward_seconds, comm))
+
+
+class TestSpeedupCurve:
+    def test_monotone_nonincreasing_in_bandwidth(self):
+        curve = speedup_curve(BASE, SPLIT, [0.5, 1, 2, 4, 8, 16, 32],
+                              dataset_size=64 * 100)
+        speedups = [s for _, s in curve]
+        assert all(a >= b - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_low_bandwidth_limit_is_batch_ratio(self):
+        curve = speedup_curve(BASE, SPLIT, [1e-4], dataset_size=64 * 100)
+        _, speedup = curve[0]
+        assert speedup == pytest.approx(SPLIT.batch_size / BASE.batch_size,
+                                        rel=0.01)
+
+    def test_high_bandwidth_limit_is_compute_ratio(self):
+        curve = speedup_curve(BASE, SPLIT, [1e9 * 1e6], dataset_size=64 * 100)
+        _, speedup = curve[0]
+        per_sample_base = (BASE.forward_seconds + BASE.backward_seconds) / 64
+        per_sample_split = (SPLIT.forward_seconds + SPLIT.backward_seconds) / 384
+        assert speedup == pytest.approx(per_sample_base / per_sample_split,
+                                        rel=0.01)
+
+    def test_speedup_above_two_at_10gbit(self):
+        # Paper Figure 11: >=2x speedup at typical cloud bandwidth.
+        curve = speedup_curve(BASE, SPLIT, [10], dataset_size=64 * 100)
+        assert curve[0][1] > 1.5

@@ -1,0 +1,148 @@
+"""Cross-validation of the IR executor against the autograd engine, and
+tests for the measured (§4.3-style) cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import to_split_cnn
+from repro.graph import build_training_graph
+from repro.graph.executor import GraphExecutor
+from repro.hmms import HMMSPlanner
+from repro.models import small_resnet, small_vgg
+from repro.nn import CrossEntropyLoss
+from repro.profile.measured import MeasuredCostModel
+from repro.tensor import Tensor
+
+
+def _to_float64(model):
+    for param in model.parameters():
+        param.data = param.data.astype(np.float64)
+    for _, buf in model.named_buffers():
+        buf.data = buf.data.astype(np.float64)
+    return model
+
+
+def _autograd_step(model, x, y):
+    model.train()
+    model.zero_grad()
+    loss = CrossEntropyLoss()(model(Tensor(x, dtype=np.float64)), y)
+    loss.backward()
+    grads = [p.grad.copy() for _, p in model.named_parameters()]
+    return loss.item(), grads
+
+
+def _executor_step(model, x, y, batch):
+    graph = build_training_graph(model, batch)
+    params = GraphExecutor.parameters_from_model(graph, model)
+    outputs = GraphExecutor(graph, params).run(x, y)
+    ordered = [t for t in sorted(graph.tensors.values(), key=lambda t: t.id)
+               if t.kind == "parameter"]
+    grads = [outputs[f"grad({t.name})"] for t in ordered]
+    return float(outputs["loss"][0]), grads, graph
+
+
+class TestCrossValidation:
+    """The strongest integration test in the suite: the symbolic IR +
+    generated backward must agree with the autograd engine bit-for-bit
+    (up to float64 rounding) on loss AND every parameter gradient."""
+
+    @pytest.mark.parametrize("make", [small_vgg, small_resnet])
+    def test_loss_and_gradients_match(self, make):
+        rng = np.random.default_rng(0)
+        model = _to_float64(make(num_classes=4, rng=rng))
+        x = rng.standard_normal((3, 3, 32, 32))
+        y = np.array([0, 2, 1])
+        auto_loss, auto_grads = _autograd_step(model, x, y)
+        exec_loss, exec_grads, _ = _executor_step(model, x, y, 3)
+        assert exec_loss == pytest.approx(auto_loss, rel=1e-12)
+        assert len(auto_grads) == len(exec_grads)
+        for auto, executed in zip(auto_grads, exec_grads):
+            np.testing.assert_allclose(executed, auto, rtol=1e-10, atol=1e-12)
+
+    def test_split_model_graph_matches_split_autograd(self):
+        """The split/concat IR path must agree with SplitRegion numerics."""
+        rng = np.random.default_rng(1)
+        base = _to_float64(small_vgg(num_classes=4, rng=rng))
+        model = to_split_cnn(base, depth=0.5, num_splits=(2, 2))
+        x = rng.standard_normal((2, 3, 32, 32))
+        y = np.array([1, 3])
+        auto_loss, auto_grads = _autograd_step(model, x, y)
+        exec_loss, exec_grads, _ = _executor_step(model, x, y, 2)
+        assert exec_loss == pytest.approx(auto_loss, rel=1e-10)
+        for auto, executed in zip(auto_grads, exec_grads):
+            np.testing.assert_allclose(executed, auto, rtol=1e-8, atol=1e-10)
+
+
+class TestExecutorValidation:
+    def test_missing_parameter_rejected(self, rng):
+        model = small_vgg(num_classes=3, rng=rng)
+        graph = build_training_graph(model, 2)
+        with pytest.raises(KeyError):
+            GraphExecutor(graph, {})
+
+    def test_parameter_shape_mismatch(self, rng):
+        model = small_vgg(num_classes=3, rng=rng)
+        graph = build_training_graph(model, 2)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        first = next(iter(params))
+        params[first] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            GraphExecutor(graph, params)
+
+    def test_input_shape_mismatch(self, rng):
+        model = small_vgg(num_classes=3, rng=rng)
+        graph = build_training_graph(model, 2)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        with pytest.raises(ValueError):
+            GraphExecutor(graph, params).run(np.zeros((5, 3, 32, 32)))
+
+    def test_loss_requires_targets(self, rng):
+        model = small_vgg(num_classes=3, rng=rng)
+        graph = build_training_graph(model, 2)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        with pytest.raises(ValueError):
+            GraphExecutor(graph, params).run(
+                np.zeros((2, 3, 32, 32)), targets=None)
+
+
+class TestMeasuredCostModel:
+    @pytest.fixture(scope="class")
+    def measured_setup(self):
+        rng = np.random.default_rng(0)
+        model = small_vgg(num_classes=3, input_size=16,
+                          config=[8, "M", 16, "M"], rng=rng)
+        graph = build_training_graph(model, 4)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        x = rng.standard_normal((4, 3, 16, 16))
+        y = np.array([0, 1, 2, 0])
+        cost_model = MeasuredCostModel(graph, params, x, y, repetitions=3)
+        return graph, cost_model
+
+    def test_every_op_measured(self, measured_setup):
+        graph, cost_model = measured_setup
+        assert set(cost_model.measured_seconds) == {op.id for op in graph.ops}
+        assert all(t >= 0 for t in cost_model.measured_seconds.values())
+
+    def test_cost_uses_measurement(self, measured_setup):
+        graph, cost_model = measured_setup
+        for op in graph.ops:
+            assert cost_model.cost(graph, op).seconds == \
+                cost_model.measured_seconds[op.id]
+
+    def test_conv_slower_than_relu(self, measured_setup):
+        graph, cost_model = measured_setup
+        conv = next(op for op in graph.forward_ops()
+                    if op.op_type == "conv2d")
+        relu = next(op for op in graph.forward_ops() if op.op_type == "relu")
+        assert cost_model.cost(graph, conv).seconds > \
+            cost_model.cost(graph, relu).seconds
+
+    def test_planner_accepts_measured_model(self, measured_setup):
+        graph, cost_model = measured_setup
+        plan = HMMSPlanner(scheduler="hmms", cost_model=cost_model).plan(graph)
+        assert plan.device_general_peak > 0
+
+    def test_invalid_repetitions(self, measured_setup):
+        graph, _ = measured_setup
+        with pytest.raises(ValueError):
+            MeasuredCostModel(graph, {}, np.zeros(1), repetitions=0)

@@ -1,0 +1,147 @@
+"""Unit + property tests for the first-fit and bump allocators (§4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmms import BumpPool, FirstFitPool, PoolError
+
+
+class TestFirstFit:
+    def test_sequential_allocation(self):
+        pool = FirstFitPool()
+        assert pool.alloc(100, "a") == 0
+        assert pool.alloc(50, "b") == 100
+        assert pool.high_water() == 150
+
+    def test_reuses_freed_gap(self):
+        pool = FirstFitPool()
+        pool.alloc(100, "a")
+        pool.alloc(50, "b")
+        pool.free("a")
+        assert pool.alloc(80, "c") == 0          # fits the hole
+        assert pool.high_water() == 150
+
+    def test_first_fit_skips_too_small_gap(self):
+        pool = FirstFitPool()
+        pool.alloc(10, "a")
+        pool.alloc(100, "b")
+        pool.free("a")
+        assert pool.alloc(50, "c") == 110        # hole of 10 too small
+
+    def test_peak_tracks_high_water(self):
+        pool = FirstFitPool()
+        pool.alloc(100, "a")
+        pool.alloc(100, "b")
+        pool.free("a")
+        pool.free("b")
+        pool.alloc(10, "c")
+        assert pool.peak == 200
+
+    def test_capacity_enforced(self):
+        pool = FirstFitPool(capacity=100)
+        pool.alloc(80, "a")
+        with pytest.raises(PoolError):
+            pool.alloc(30, "b")
+
+    def test_duplicate_tag_rejected(self):
+        pool = FirstFitPool()
+        pool.alloc(10, "a")
+        with pytest.raises(PoolError):
+            pool.alloc(10, "a")
+
+    def test_free_unknown_tag(self):
+        with pytest.raises(PoolError):
+            FirstFitPool().free("ghost")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PoolError):
+            FirstFitPool().alloc(-1, "a")
+
+    def test_zero_size_allocation(self):
+        pool = FirstFitPool()
+        assert pool.alloc(0, "a") == 0
+        pool.free("a")
+
+    def test_live_bytes(self):
+        pool = FirstFitPool()
+        pool.alloc(30, "a")
+        pool.alloc(20, "b")
+        pool.free("a")
+        assert pool.live_bytes() == 20
+
+    def test_reset(self):
+        pool = FirstFitPool()
+        pool.alloc(10, "a")
+        pool.reset()
+        assert pool.peak == 0
+        assert pool.alloc(10, "a") == 0
+
+
+class TestBumpPool:
+    def test_never_reuses(self):
+        pool = BumpPool()
+        pool.alloc(100, "a")
+        pool.free("a")
+        assert pool.alloc(100, "b") == 100
+        assert pool.peak == 200
+
+    def test_peak_exceeds_first_fit_under_churn(self):
+        first_fit, bump = FirstFitPool(), BumpPool()
+        for pool in (first_fit, bump):
+            for i in range(10):
+                pool.alloc(100, i)
+                pool.free(i)
+        assert first_fit.peak == 100
+        assert bump.peak == 1000
+
+
+@st.composite
+def alloc_free_program(draw):
+    """A random valid alloc/free program."""
+    steps = []
+    live = []
+    for index in range(draw(st.integers(1, 60))):
+        if live and draw(st.booleans()):
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            steps.append(("free", victim, 0))
+        else:
+            size = draw(st.integers(1, 1000))
+            steps.append(("alloc", index, size))
+            live.append(index)
+    return steps
+
+
+@given(alloc_free_program())
+@settings(max_examples=150, deadline=None)
+def test_first_fit_blocks_never_overlap(program):
+    """Safety: no two live allocations ever overlap, and peak >= live sum."""
+    pool = FirstFitPool()
+    live = {}
+    for action, tag, size in program:
+        if action == "alloc":
+            offset = pool.alloc(size, tag)
+            for other_offset, other_size in live.values():
+                assert offset + size <= other_offset \
+                    or other_offset + other_size <= offset
+            live[tag] = (offset, size)
+        else:
+            pool.free(tag)
+            del live[tag]
+        assert pool.live_bytes() == sum(s for _, s in live.values())
+        assert pool.peak >= pool.live_bytes()
+
+
+@given(alloc_free_program())
+@settings(max_examples=100, deadline=None)
+def test_first_fit_never_worse_than_bump(program):
+    first_fit, bump = FirstFitPool(), BumpPool()
+    for action, tag, size in program:
+        for pool in (first_fit, bump):
+            if action == "alloc":
+                pool.alloc(size, tag)
+            else:
+                pool.free(tag)
+    assert first_fit.peak <= bump.peak

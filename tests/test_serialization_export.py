@@ -1,0 +1,145 @@
+"""Tests for model checkpointing and graph export/analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import to_split_cnn
+from repro.graph import build_training_graph
+from repro.graph.export import (
+    MEMORY_BOUND_TYPES, GraphStats, graph_stats, to_dot, to_networkx,
+)
+from repro.models import small_resnet, small_vgg
+from repro.nn.serialization import (
+    load_model, load_state_dict, save_model, save_state_dict,
+)
+from repro.tensor import Tensor
+
+
+class TestSerialization:
+    def test_roundtrip_restores_outputs(self, rng, tmp_path):
+        model = small_vgg(num_classes=4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 32, 32)).astype(np.float32))
+        model.eval()
+        expected = model(x).numpy()
+
+        path = tmp_path / "checkpoint.npz"
+        save_model(model, path)
+        fresh = small_vgg(num_classes=4, rng=np.random.default_rng(999))
+        fresh.eval()
+        assert not np.allclose(fresh(x).numpy(), expected)
+        load_model(fresh, path)
+        np.testing.assert_allclose(fresh(x).numpy(), expected, rtol=1e-6)
+
+    def test_buffers_roundtrip(self, rng, tmp_path):
+        model = small_resnet(num_classes=3, rng=rng)
+        for _, buf in model.named_buffers():
+            buf.data = buf.data + 5.0
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path)
+        fresh = small_resnet(num_classes=3, rng=rng)
+        load_model(fresh, path)
+        for name, buf in fresh.named_buffers():
+            assert (buf.data >= 4.0).all(), name
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        state = {"a.weight": np.arange(6.0).reshape(2, 3)}
+        path = tmp_path / "state.npz"
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        np.testing.assert_array_equal(loaded["a.weight"], state["a.weight"])
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state_dict({"__repro_meta__": np.zeros(1)}, tmp_path / "x.npz")
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(1))
+        with pytest.raises(ValueError):
+            load_state_dict(path)
+
+    def test_checkpoint_via_shared_base_model(self, rng, tmp_path):
+        """Split-CNN shares weights with its base model by reference, so
+        checkpointing the *base* captures everything a split-model training
+        run learned — the §3.3 deployment path."""
+        base = small_vgg(num_classes=4, rng=rng)
+        split = to_split_cnn(base, depth=0.5, num_splits=(2, 2))
+        for parameter in split.parameters():
+            parameter.data = parameter.data + 0.01  # "training"
+        path = tmp_path / "base.npz"
+        save_model(base, path)
+        fresh = small_vgg(num_classes=4, rng=np.random.default_rng(7))
+        load_model(fresh, path)
+        x = Tensor(rng.standard_normal((1, 3, 32, 32)).astype(np.float32))
+        base.eval(), fresh.eval()
+        np.testing.assert_allclose(fresh(x).numpy(), base(x).numpy(),
+                                   rtol=1e-6)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_training_graph(small_resnet(rng=np.random.default_rng(0)), 4)
+
+
+class TestNetworkxExport:
+    def test_is_dag(self, graph):
+        import networkx as nx
+        dag = to_networkx(graph)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.number_of_nodes() == len(graph.ops)
+
+    def test_edges_carry_tensor_bytes(self, graph):
+        dag = to_networkx(graph)
+        for _, _, data in dag.edges(data=True):
+            assert data["nbytes"] > 0
+
+    def test_topological_order_matches_serialization(self, graph):
+        import networkx as nx
+        dag = to_networkx(graph)
+        position = {op.id: i for i, op in enumerate(graph.ops)}
+        for source, target in dag.edges:
+            assert position[source] < position[target]
+
+
+class TestDot:
+    def test_contains_ops_and_edges(self, graph):
+        dot = to_dot(graph, max_ops=50)
+        assert dot.startswith("digraph")
+        assert "conv" in dot
+        assert "->" in dot
+        assert "truncated" in dot  # this graph has > 50 ops
+
+    def test_no_truncation_marker_when_small(self, graph):
+        dot = to_dot(graph, max_ops=10 ** 6)
+        assert "truncated" not in dot
+
+
+class TestStats:
+    def test_basic_counts(self, graph):
+        stats = graph_stats(graph)
+        assert stats.num_ops == len(graph.ops)
+        assert stats.num_forward_ops + stats.num_backward_ops == stats.num_ops
+        assert stats.parameter_bytes > 0
+        assert stats.saved_bytes > 0
+        assert stats.critical_path_length > 10
+
+    def test_memory_bound_mix(self, graph):
+        stats = graph_stats(graph)
+        # ResNets are full of BN/ReLU/add: a large memory-bound fraction is
+        # the paper's §2.2.1 premise.
+        assert stats.memory_bound_fraction > 0.3
+        assert stats.memory_bound_ops + stats.compute_bound_ops == stats.num_ops
+
+    def test_histogram_sorted_desc(self, graph):
+        stats = graph_stats(graph)
+        counts = [count for _, count in stats.op_type_histogram]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_widest_tensor_identified(self, graph):
+        stats = graph_stats(graph)
+        largest = max(graph.tensors.values(), key=lambda t: t.nbytes)
+        assert stats.widest_tensor_bytes == largest.nbytes
+
+    def test_memory_bound_types_are_known_ops(self):
+        from repro.profile.cost import _CHARACTERIZERS
+        assert MEMORY_BOUND_TYPES <= set(_CHARACTERIZERS)

@@ -1,0 +1,94 @@
+"""Unit + property tests for stochastic splitting (paper §3.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme import SplitScheme
+from repro.core.stochastic import DEFAULT_OMEGA, StochasticSplitter, sample_split
+
+
+class TestSampleSplit:
+    def test_omega_zero_is_even(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            scheme = sample_split(32, 4, omega=0.0, rng=rng)
+            assert scheme.boundaries == SplitScheme.even(32, 4).boundaries
+
+    def test_boundaries_within_paper_interval(self):
+        rng = np.random.default_rng(1)
+        total, parts, omega = 64, 4, 0.2
+        for _ in range(100):
+            scheme = sample_split(total, parts, omega, rng)
+            for i, boundary in enumerate(scheme.boundaries[1:], start=1):
+                low = math.ceil((i - omega) * total / parts)
+                high = math.floor((i + omega) * total / parts)
+                assert low <= boundary <= high
+
+    def test_default_omega_is_paper_value(self):
+        assert DEFAULT_OMEGA == pytest.approx(0.2)
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError):
+            sample_split(32, 4, omega=0.5)
+        with pytest.raises(ValueError):
+            sample_split(32, 4, omega=-0.1)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            sample_split(32, 0)
+        with pytest.raises(ValueError):
+            sample_split(3, 4)
+
+    def test_single_part(self):
+        assert sample_split(32, 1).boundaries == (0,)
+
+    def test_varies_across_draws(self):
+        rng = np.random.default_rng(2)
+        draws = {sample_split(64, 4, 0.2, rng).boundaries for _ in range(30)}
+        assert len(draws) > 1
+
+    def test_tiny_dimension_still_valid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            scheme = sample_split(5, 4, 0.2, rng)
+            assert scheme.num_parts == 4
+            assert scheme.part_sizes(5)  # all parts non-empty
+
+
+class TestSplitter:
+    def test_seeded_reproducibility(self):
+        a = StochasticSplitter(seed=7)
+        b = StochasticSplitter(seed=7)
+        assert a(64, 4).boundaries == b(64, 4).boundaries
+
+    def test_successive_calls_differ(self):
+        splitter = StochasticSplitter(seed=0)
+        draws = {splitter(64, 4).boundaries for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError):
+            StochasticSplitter(omega=0.9)
+
+
+@given(
+    total=st.integers(8, 128),
+    parts=st.integers(2, 6),
+    omega=st.floats(0.0, 0.49),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_sampled_scheme_always_valid(total, parts, omega, seed):
+    """Sampled schemes are always strictly increasing, interior, non-empty."""
+    if parts > total:
+        return
+    scheme = sample_split(total, parts, omega, np.random.default_rng(seed))
+    assert scheme.boundaries[0] == 0
+    assert all(b2 > b1 for b1, b2 in zip(scheme.boundaries, scheme.boundaries[1:]))
+    assert scheme.boundaries[-1] < total
+    assert len(scheme.part_sizes(total)) == parts
+    assert sum(scheme.part_sizes(total)) == total

@@ -1,0 +1,119 @@
+"""Tests for TSO storage assignment and the §4.2 optimizations."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_training_graph
+from repro.hmms import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, assign_storage
+from repro.models import small_resnet, small_vgg
+
+
+@pytest.fixture(scope="module")
+def vgg_graph():
+    return build_training_graph(small_vgg(rng=np.random.default_rng(0)), 4)
+
+
+@pytest.fixture(scope="module")
+def resnet_graph():
+    return build_training_graph(small_resnet(rng=np.random.default_rng(0)), 4)
+
+
+class TestAssignment:
+    def test_every_tensor_mapped(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        assert set(assignment.tso_of) == set(vgg_graph.tensors)
+
+    def test_parameters_in_param_pool(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        for tensor in vgg_graph.tensors.values():
+            pool = assignment.tso_for_tensor(tensor.id).pool
+            if tensor.kind in ("parameter", "gradient"):
+                assert pool == POOL_DEVICE_PARAM, tensor.name
+            else:
+                assert pool == POOL_DEVICE_GENERAL, tensor.name
+
+    def test_tso_size_is_max_of_tensors(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        for tso in assignment.tsos.values():
+            largest = max(vgg_graph.tensor(t).nbytes for t in tso.tensor_ids)
+            assert tso.size == largest
+
+    def test_refcount_matches_tensor_count(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        for tso in assignment.tsos.values():
+            assert tso.refcount == len(tso.tensor_ids)
+
+
+class TestInPlaceRelu:
+    def test_relu_shares_input_tso(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        assert assignment.inplace_relu_applied > 0
+        relu_ops = [op for op in vgg_graph.forward_ops()
+                    if op.op_type == "relu"]
+        shared = sum(
+            assignment.tso_of[op.outputs[0]] == assignment.tso_of[op.inputs[0]]
+            for op in relu_ops
+        )
+        assert shared == len(relu_ops)  # every VGG ReLU input is reusable
+
+    def test_optimization_can_be_disabled(self, vgg_graph):
+        on = assign_storage(vgg_graph, inplace_relu=True)
+        off = assign_storage(vgg_graph, inplace_relu=False)
+        assert off.inplace_relu_applied == 0
+        assert len(off.tsos) > len(on.tsos)
+
+    def test_disabled_relu_outputs_get_own_tso(self, vgg_graph):
+        off = assign_storage(vgg_graph, inplace_relu=False)
+        relu = next(op for op in vgg_graph.forward_ops()
+                    if op.op_type == "relu")
+        assert off.tso_of[relu.outputs[0]] != off.tso_of[relu.inputs[0]]
+
+    def test_legality_multi_consumer_input_not_shared(self, resnet_graph):
+        """A block-input tensor feeding both conv1 and the residual add must
+        never be overwritten in place by a downstream ReLU."""
+        assignment = assign_storage(resnet_graph)
+        for op in resnet_graph.forward_ops():
+            if op.inplace_of is None:
+                continue
+            source = resnet_graph.tensor(op.inplace_of)
+            if assignment.tso_of[op.outputs[0]] == assignment.tso_of[source.id]:
+                consumers = set(source.consumers)
+                assert consumers == {op.id}, \
+                    f"{op.name} overwrote multi-consumer {source.name}"
+
+
+class TestSummationSharing:
+    def test_residual_error_terms_share(self, resnet_graph):
+        assignment = assign_storage(resnet_graph)
+        assert assignment.summation_shares_applied > 0
+        for op in resnet_graph.backward_ops():
+            if op.op_type != "add_bwd":
+                continue
+            upstream = assignment.tso_of[op.inputs[0]]
+            for grad in op.outputs:
+                assert assignment.tso_of[grad] == upstream
+
+    def test_disabled_creates_distinct_tsos(self, resnet_graph):
+        off = assign_storage(resnet_graph, share_summation=False)
+        assert off.summation_shares_applied == 0
+        for op in resnet_graph.backward_ops():
+            if op.op_type != "add_bwd":
+                continue
+            tso_ids = {off.tso_of[g] for g in op.outputs}
+            assert len(tso_ids) == len(op.outputs)
+
+    def test_sharing_reduces_total_bytes(self, resnet_graph):
+        on = assign_storage(resnet_graph, share_summation=True)
+        off = assign_storage(resnet_graph, share_summation=False)
+        assert on.total_bytes(POOL_DEVICE_GENERAL) < \
+            off.total_bytes(POOL_DEVICE_GENERAL)
+
+
+class TestViews:
+    def test_flatten_aliases(self, vgg_graph):
+        assignment = assign_storage(vgg_graph)
+        flatten = next(op for op in vgg_graph.forward_ops()
+                       if op.op_type == "flatten")
+        assert assignment.tso_of[flatten.outputs[0]] == \
+            assignment.tso_of[flatten.inputs[0]]
+        assert assignment.view_shares_applied > 0

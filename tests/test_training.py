@@ -1,0 +1,83 @@
+"""Tests for the training loop and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import ShapesDataset
+from repro.experiments.training import evaluate, train_classifier
+from repro.models import small_resnet, small_vgg
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    train = ShapesDataset(num_samples=96, image_size=16, num_classes=3,
+                          seed=1, noise=0.1)
+    test = ShapesDataset(num_samples=48, image_size=16, num_classes=3,
+                         seed=99, noise=0.1)
+    return train, test
+
+
+class TestEvaluate:
+    def test_error_in_unit_interval(self, datasets, rng):
+        _, test = datasets
+        model = small_vgg(num_classes=3, input_size=16, rng=rng)
+        error = evaluate(model, test, batch_size=16)
+        assert 0.0 <= error <= 1.0
+
+    def test_untrained_model_near_chance(self, datasets, rng):
+        _, test = datasets
+        model = small_vgg(num_classes=3, input_size=16, rng=rng)
+        error = evaluate(model, test, batch_size=16)
+        assert error > 0.3  # 3 classes -> chance error ~0.67
+
+    def test_restores_training_mode(self, datasets, rng):
+        _, test = datasets
+        model = small_vgg(num_classes=3, input_size=16, rng=rng)
+        model.train()
+        evaluate(model, test)
+        assert model.training
+
+
+class TestTrainClassifier:
+    def test_learns_the_task(self, datasets, rng):
+        train, test = datasets
+        model = small_resnet(num_classes=3, input_size=16,
+                             widths=(8, 16), rng=rng)
+        result = train_classifier(model, train, test, epochs=5,
+                                  batch_size=16, lr=0.05, seed=0)
+        first, last = result.history[0], result.history[-1]
+        assert last.train_loss < first.train_loss
+        assert result.final_test_error < 0.5
+
+    def test_history_structure(self, datasets, rng):
+        train, test = datasets
+        model = small_vgg(num_classes=3, input_size=16,
+                          config=[8, "M", 16, "M"], rng=rng)
+        result = train_classifier(model, train, test, epochs=3,
+                                  batch_size=16, lr=0.01, seed=0)
+        assert len(result.history) == 3
+        assert [s.epoch for s in result.history] == [1, 2, 3]
+        assert len(result.error_curve()) == 3
+        assert result.best_test_error <= result.final_test_error + 1e-9
+
+    def test_default_milestones_decay_lr(self, datasets, rng):
+        train, test = datasets
+        model = small_vgg(num_classes=3, input_size=16,
+                          config=[8, "M"], rng=rng)
+        result = train_classifier(model, train, test, epochs=5,
+                                  batch_size=16, lr=0.1, seed=0)
+        lrs = [s.lr for s in result.history]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] < 0.1
+
+    def test_deterministic_given_seed(self, datasets):
+        train, test = datasets
+        results = []
+        for _ in range(2):
+            model = small_vgg(num_classes=3, input_size=16,
+                              config=[8, "M"],
+                              rng=np.random.default_rng(7))
+            result = train_classifier(model, train, test, epochs=2,
+                                      batch_size=16, lr=0.01, seed=3)
+            results.append(result.history[-1].train_loss)
+        assert results[0] == pytest.approx(results[1], rel=1e-5)

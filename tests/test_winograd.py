@@ -1,0 +1,100 @@
+"""Tests for the Winograd F(2x2,3x3) fast convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, conv2d
+from repro.tensor.winograd import (
+    MULTIPLY_REDUCTION, winograd_conv2d, winograd_forward,
+)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("padding", [0, 1, 2, ((1, 0), (0, 1))])
+    def test_matches_im2col(self, rng, padding):
+        x = Tensor(rng.standard_normal((2, 3, 12, 12)), dtype=np.float64)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)), dtype=np.float64)
+        b = Tensor(rng.standard_normal(4), dtype=np.float64)
+        ref = conv2d(x, w, b, stride=1, padding=padding)
+        win = winograd_conv2d(x, w, b, padding=padding)
+        np.testing.assert_allclose(win.numpy(), ref.numpy(), rtol=1e-10,
+                                   atol=1e-10)
+
+    def test_odd_output_sizes(self, rng):
+        # Output dims not divisible by the 2x2 tile need the crop path.
+        x = Tensor(rng.standard_normal((1, 2, 9, 11)), dtype=np.float64)
+        w = Tensor(rng.standard_normal((2, 2, 3, 3)), dtype=np.float64)
+        ref = conv2d(x, w, None, stride=1, padding=0)
+        win = winograd_conv2d(x, w, None, padding=0)
+        assert win.shape == ref.shape == (1, 2, 7, 9)
+        np.testing.assert_allclose(win.numpy(), ref.numpy(), rtol=1e-10)
+
+    def test_float32_accuracy(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 16, 16)).astype(np.float32))
+        w = Tensor((rng.standard_normal((8, 4, 3, 3)) * 0.2).astype(np.float32))
+        ref = conv2d(x, w, None, stride=1, padding=1)
+        win = winograd_conv2d(x, w, None, padding=1)
+        np.testing.assert_allclose(win.numpy(), ref.numpy(), rtol=1e-3,
+                                   atol=1e-4)
+
+    def test_gradients_match_im2col(self, rng):
+        x_data = rng.standard_normal((1, 2, 8, 8))
+        w_data = rng.standard_normal((2, 2, 3, 3))
+        grads = {}
+        for name, fn in [("im2col", lambda a, b: conv2d(a, b, None, 1, 1)),
+                         ("winograd", lambda a, b: winograd_conv2d(a, b, None, 1))]:
+            x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+            w = Tensor(w_data, requires_grad=True, dtype=np.float64)
+            fn(x, w).sum().backward()
+            grads[name] = (x.grad, w.grad)
+        np.testing.assert_allclose(grads["winograd"][0], grads["im2col"][0])
+        np.testing.assert_allclose(grads["winograd"][1], grads["im2col"][1])
+
+
+class TestValidation:
+    def test_rejects_non_3x3(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 5, 5))
+        with pytest.raises(ValueError):
+            winograd_forward(x, w, None, ((0, 0), (0, 0)))
+
+    def test_rejects_stride(self, rng):
+        from repro.tensor.winograd import _WinogradConv2d
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        fn = _WinogradConv2d()
+        with pytest.raises(ValueError):
+            fn.forward(x, w, None, (2, 2), ((0, 0), (0, 0)))
+
+    def test_too_small_input(self, rng):
+        x = rng.standard_normal((1, 1, 2, 2))
+        w = rng.standard_normal((1, 1, 3, 3))
+        with pytest.raises(ValueError):
+            winograd_forward(x, w, None, ((0, 0), (0, 0)))
+
+    def test_multiply_reduction_constant(self):
+        # The 2.25x arithmetic reduction quoted everywhere for F(2x2,3x3).
+        assert MULTIPLY_REDUCTION == pytest.approx(2.25)
+
+
+@given(
+    height=st.integers(5, 14),
+    width=st.integers(5, 14),
+    channels=st.integers(1, 3),
+    filters=st.integers(1, 3),
+    pad=st.integers(0, 1),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_winograd_equivalence_property(height, width, channels, filters,
+                                       pad, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((1, channels, height, width)),
+               dtype=np.float64)
+    w = Tensor(rng.standard_normal((filters, channels, 3, 3)),
+               dtype=np.float64)
+    ref = conv2d(x, w, None, stride=1, padding=pad)
+    win = winograd_conv2d(x, w, None, padding=pad)
+    np.testing.assert_allclose(win.numpy(), ref.numpy(), rtol=1e-9, atol=1e-9)
