@@ -1,0 +1,64 @@
+"""IR-executor step time — saved forward contexts vs. forward replay.
+
+Before the op registry, every backward kernel re-ran its forward op to
+rebuild the autograd ``Function`` context (a conv backward paid for the
+forward twice over).  The registry-based executor saves each context the
+first time the forward op runs and hands it to the backward kernels;
+``reuse_contexts=False`` restores the old replay behaviour so the two
+strategies can be timed against each other on the same graph.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.graph import GraphExecutor, build_training_graph
+from repro.models import small_vgg, vgg11
+
+from _util import run_once, save_and_print
+
+
+def _best_step_seconds(graph, params, x, y, reuse, repeats=3):
+    executor = GraphExecutor(graph, params, reuse_contexts=reuse)
+    executor.run(x, y)  # warm-up (allocations, cache effects)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        executor.run(x, y)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_executor_replay_speedup(benchmark):
+    cases = [
+        ("small_vgg", lambda rng: small_vgg(num_classes=10, rng=rng), 4),
+        ("vgg11-cifar", lambda rng: vgg11(num_classes=10, rng=rng), 2),
+    ]
+
+    def measure():
+        rows = []
+        for name, make, batch in cases:
+            rng = np.random.default_rng(0)
+            model = make(rng)
+            graph = build_training_graph(model, batch)
+            params = GraphExecutor.parameters_from_model(graph, model)
+            x = rng.standard_normal((batch, 3, model.input_size,
+                                     model.input_size))
+            y = rng.integers(0, 10, size=batch)
+            replay = _best_step_seconds(graph, params, x, y, reuse=False)
+            reuse = _best_step_seconds(graph, params, x, y, reuse=True)
+            rows.append((name, batch, replay * 1e3, reuse * 1e3,
+                         replay / reuse))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    save_and_print("executor_replay", format_table(
+        ["model", "batch", "replay ms/step", "reuse ms/step", "speedup"],
+        rows, title="IR executor — forward replay vs. saved contexts",
+    ))
+    speedups = {row[0]: row[4] for row in rows}
+    assert all(s > 1.0 for s in speedups.values())
+    # Conv-dominated VGG-11 previously replayed each conv forward twice
+    # (data and weight backward); saving the context must win big.
+    assert speedups["vgg11-cifar"] >= 1.5

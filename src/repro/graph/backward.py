@@ -2,13 +2,20 @@
 
 Backward operations are appended to the forward graph in exactly the
 reverse of the serialized forward order, as the paper specifies.  Each
-forward op type expands into its gradient op(s); gradients of tensors with
-several consumers are merged by explicit ``grad_acc`` ops.
+forward op type expands into its gradient op(s) through the
+``backward`` rule of its :class:`~repro.graph.registry.OpDef`; gradients
+of tensors with several consumers are merged by explicit ``grad_acc``
+ops.
 
 The residual ``add`` gets special treatment: its error terms all equal the
 upstream error (d(sum)/dx_i = 1), so both produced gradient tensors carry
 ``attrs["shared_value"] = True`` — the storage-assignment pass can map them
 onto one TSO (the paper's *Summation Error Storage Object Sharing*).
+
+:class:`_BackwardEmitter` keeps only the gradient bookkeeping
+(``contribute`` / ``grad_of`` / ``new_grad`` / ``_io``); the per-op-type
+expansion rules live in the central registry.  The checkpointing module
+subclasses the emitter to remap reads onto recomputed tensors.
 """
 
 from __future__ import annotations
@@ -16,11 +23,14 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .ir import Graph, OpNode, TensorValue
+from .registry import op_def
 
 __all__ = ["append_backward_graph"]
 
 
 class _BackwardEmitter:
+    """Gradient bookkeeping shared by all registry backward rules."""
+
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         # tensor id -> gradient TensorValue (merged as contributions arrive)
@@ -48,235 +58,17 @@ class _BackwardEmitter:
     def new_grad(self, tensor: TensorValue, kind: str = "gradient_act") -> TensorValue:
         return self.graph.add_tensor(f"grad({tensor.name})", tensor.shape, kind=kind)
 
-    # ------------------------------------------------------------------
-    def emit(self, op: OpNode) -> None:
-        handler = getattr(self, f"_bwd_{op.op_type}", None)
-        if handler is None:
-            raise NotImplementedError(f"no backward rule for op type {op.op_type!r}")
-        handler(op)
-
-    # -- per-type rules -------------------------------------------------
     def _io(self, op: OpNode):
         inputs = [self.graph.tensor(i) for i in op.inputs]
         outputs = [self.graph.tensor(i) for i in op.outputs]
         return inputs, outputs
 
-    def _bwd_cross_entropy(self, op: OpNode) -> None:
-        (logits,), (loss, softmax) = self._io(op)
-        grad_logits = self.new_grad(logits)
-        self.graph.add_op(
-            f"{op.name}.bwd", "cross_entropy_bwd", [softmax], [grad_logits],
-            phase="backward", forward_of=op.id,
-        )
-        self.contribute(logits, grad_logits, op)
-
-    def _bwd_linear(self, op: OpNode) -> None:
-        inputs, (out,) = self._io(op)
-        x, weight = inputs[0], inputs[1]
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd_data", "linear_bwd_data", [grad_out, weight], [grad_x],
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        grad_w = self.new_grad(weight, kind="gradient")
-        wgrad_outputs = [grad_w]
-        wgrad_inputs = [grad_out, x]
-        if len(inputs) == 3:
-            wgrad_outputs.append(self.new_grad(inputs[2], kind="gradient"))
-        self.graph.add_op(
-            f"{op.name}.bwd_weight", "linear_bwd_weight", wgrad_inputs,
-            wgrad_outputs, phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        # Weights may be consumed by several forward ops (e.g. one conv
-        # split into patches): their gradients accumulate like any other.
-        self.contribute(weight, grad_w, op)
-        if len(inputs) == 3:
-            self.contribute(inputs[2], wgrad_outputs[1], op)
-        self.contribute(x, grad_x, op)
-
-    def _bwd_conv2d(self, op: OpNode) -> None:
-        inputs, (out,) = self._io(op)
-        x, weight = inputs[0], inputs[1]
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd_data", "conv2d_bwd_data", [grad_out, weight], [grad_x],
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-            workspace_bytes=op.workspace_bytes,
-        )
-        grad_w = self.new_grad(weight, kind="gradient")
-        wgrad_outputs = [grad_w]
-        wgrad_inputs = [grad_out, x]
-        if len(inputs) == 3:
-            wgrad_outputs.append(self.new_grad(inputs[2], kind="gradient"))
-        self.graph.add_op(
-            f"{op.name}.bwd_weight", "conv2d_bwd_weight", wgrad_inputs,
-            wgrad_outputs, phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-            workspace_bytes=op.workspace_bytes,
-        )
-        # Weights may be consumed by several forward ops (e.g. one conv
-        # split into patches): their gradients accumulate like any other.
-        self.contribute(weight, grad_w, op)
-        if len(inputs) == 3:
-            self.contribute(inputs[2], wgrad_outputs[1], op)
-        self.contribute(x, grad_x, op)
-
-    def _bwd_batchnorm(self, op: OpNode) -> None:
-        (x, weight, bias), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        grad_w = self.new_grad(weight, kind="gradient")
-        grad_b = self.new_grad(bias, kind="gradient")
-        recompute = bool(op.attrs.get("recompute"))
-        bwd_inputs = [grad_out, weight] if recompute else [grad_out, x, weight]
-        self.graph.add_op(
-            f"{op.name}.bwd", "batchnorm_bwd", bwd_inputs, [grad_x, grad_w, grad_b],
-            phase="backward", forward_of=op.id,
-            attrs={"recompute": recompute},
-        )
-        self.contribute(weight, grad_w, op)
-        self.contribute(bias, grad_b, op)
-        self.contribute(x, grad_x, op)
-
-    def _bwd_relu(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "relu_bwd", [grad_out, out], [grad_x],
-            phase="backward", forward_of=op.id, inplace_of=grad_out,
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_maxpool2d(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "maxpool2d_bwd", [grad_out, x], [grad_x],
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_avgpool2d(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "avgpool2d_bwd", [grad_out], [grad_x],
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_gap(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "gap_bwd", [grad_out], [grad_x],
-            phase="backward", forward_of=op.id,
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_flatten(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "flatten_bwd", [grad_out], [grad_x],
-            phase="backward", forward_of=op.id, inplace_of=grad_out,
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_dropout(self, op: OpNode) -> None:
-        (x,), (out, mask) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "dropout_bwd", [grad_out, mask], [grad_x],
-            phase="backward", forward_of=op.id, inplace_of=grad_out,
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_add(self, op: OpNode) -> None:
-        (a, b), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_a = self.new_grad(a)
-        grad_b = self.new_grad(b)
-        grad_a_op = self.graph.add_op(
-            f"{op.name}.bwd", "add_bwd", [grad_out], [grad_a, grad_b],
-            phase="backward", forward_of=op.id,
-            attrs={"shared_value": True}, inplace_of=grad_out,
-        )
-        self.contribute(a, grad_a, op)
-        self.contribute(b, grad_b, op)
-
-    def _bwd_split(self, op: OpNode) -> None:
-        (x,), patches = self._io(op)
-        patch_grads = []
-        for patch in patches:
-            grad = self.grad_of(patch.id)
-            if grad is None:
-                return
-            patch_grads.append(grad)
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", "split_bwd", patch_grads, [grad_x],
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        self.contribute(x, grad_x, op)
-
-    def _bwd_concat(self, op: OpNode) -> None:
-        inputs, (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grads = [self.new_grad(tensor) for tensor in inputs]
-        self.graph.add_op(
-            f"{op.name}.bwd", "concat_bwd", [grad_out], grads,
-            phase="backward", forward_of=op.id, attrs=dict(op.attrs),
-        )
-        for tensor, grad in zip(inputs, grads):
-            self.contribute(tensor, grad, op)
-
-    def _bwd_sigmoid(self, op: OpNode) -> None:
-        self._generic_unary(op)
-
-    def _bwd_tanh(self, op: OpNode) -> None:
-        self._generic_unary(op)
-
-    def _generic_unary(self, op: OpNode) -> None:
-        (x,), (out,) = self._io(op)
-        grad_out = self.grad_of(out.id)
-        if grad_out is None:
-            return
-        grad_x = self.new_grad(x)
-        self.graph.add_op(
-            f"{op.name}.bwd", f"{op.op_type}_bwd", [grad_out, out], [grad_x],
-            phase="backward", forward_of=op.id,
-        )
-        self.contribute(x, grad_x, op)
+    # ------------------------------------------------------------------
+    def emit(self, op: OpNode) -> None:
+        rule = op_def(op.op_type).backward
+        if rule is None:
+            raise NotImplementedError(f"no backward rule for op type {op.op_type!r}")
+        rule(self, op)
 
 
 def append_backward_graph(graph: Graph) -> Graph:

@@ -7,22 +7,24 @@ The builder walks a :class:`~repro.models.base.ConvClassifier` symbolically
 the HMMS the "memory bottleneck broken into smaller, spread-out pieces"
 the paper exploits (§2.4).
 
-Conventions (documented modelling choices):
+Per-op semantics come from the central registry
+(:mod:`repro.graph.registry`): :meth:`GraphBuilder.add_registered_op`
+derives every output shape from the op's symbolic shape inference and its
+``saved`` / in-place storage hints from the same :class:`OpDef` the
+executor, backward generator, cost model and HMMS consume.  The ``saved``
+hints are the paper's per-layer "generated data" (Figure 1); batch-norm
+saves its input unless the model is flagged memory-efficient (§6.3,
+ref [6]), in which case the input is recomputed in backward
+(:func:`_apply_inplace_abn`).
 
-- ``saved`` on a forward op lists the tensors its backward twin re-reads —
-  the paper's per-layer "generated data" (Figure 1).  Convolutions and
-  linear layers save their *input* (for the weight gradient); ReLU saves
-  its *output* (the mask); max-pool saves its input; batch-norm saves its
-  input unless the model is flagged memory-efficient (§6.3, ref [6]), in
-  which case the input is recomputed in backward.
-- Convolution workspace models cuDNN's algorithm scratch: the im2col
-  buffer for the full minibatch, capped at ``workspace_cap`` (1 GiB by
-  default); 1x1 kernels need none.
+Convolution workspace models cuDNN's algorithm scratch: the im2col buffer
+for the full minibatch, capped at ``workspace_cap`` (1 GiB by default);
+1x1 kernels need none.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..core.region import SplitRegion, get_handler
 from ..core.scheme import SplitScheme
@@ -34,6 +36,7 @@ from ..nn import (
     MaxPool2d, Module, ReLU, Sequential, Sigmoid, Tanh,
 )
 from .ir import Graph, TensorValue
+from .registry import infer_op_shapes, op_def
 
 __all__ = ["GraphBuilder", "build_forward_graph"]
 
@@ -89,6 +92,41 @@ class GraphBuilder:
         return min(im2col, self.workspace_cap)
 
     # ------------------------------------------------------------------
+    # Registry-driven op emission
+    # ------------------------------------------------------------------
+    def add_registered_op(self, base: str, op_type: str,
+                          inputs: List[TensorValue],
+                          attrs: Optional[Dict[str, Any]] = None,
+                          out_names: Optional[List[str]] = None,
+                          out_dtypes: Optional[Dict[int, int]] = None,
+                          workspace_bytes: int = 0) -> List[TensorValue]:
+        """Emit one op whose semantics come from the central registry.
+
+        Output shapes are derived from the :class:`OpDef`'s symbolic shape
+        inference; ``saved`` tensors and the in-place hint come from its
+        storage fields.  Returns the created output tensors.
+        """
+        attrs = dict(attrs or {})
+        definition = op_def(op_type)
+        shapes = infer_op_shapes(op_type, [t.shape for t in inputs], attrs)
+        if out_names is None:
+            out_names = ([f"{base}.out"] if len(shapes) == 1
+                         else [f"{base}.out{k}" for k in range(len(shapes))])
+        outputs = []
+        for index, (name, shape) in enumerate(zip(out_names, shapes)):
+            dtype_bytes = (out_dtypes or {}).get(index, 4)
+            outputs.append(self.graph.add_tensor(self._unique(name), shape,
+                                                 dtype_bytes=dtype_bytes))
+        saved = [(inputs if source == "input" else outputs)[index]
+                 for source, index in definition.saved]
+        self.graph.add_op(
+            self._unique(base), op_type, inputs, outputs, attrs=attrs,
+            saved=saved, workspace_bytes=workspace_bytes,
+            inplace_of=inputs[0] if definition.inplace else None,
+        )
+        return outputs
+
+    # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
     def emit(self, module: Module, value: TensorValue) -> TensorValue:
@@ -102,63 +140,55 @@ class GraphBuilder:
 
     # Individual op emitters (shared between whole-tensor and patch paths) --
     def emit_conv(self, module: Conv2d, value: TensorValue,
-                  out_hw: Tuple[int, int], padding, tag: str = "") -> TensorValue:
-        out = self.graph.add_tensor(
-            self._unique(f"conv{tag}.out"),
-            (value.shape[0], module.out_channels, out_hw[0], out_hw[1]),
-        )
+                  padding, tag: str = "") -> TensorValue:
         weight = self.param(module, "weight", module.weight.shape)
         inputs = [value, weight]
         if module.bias is not None:
             inputs.append(self.param(module, "bias", module.bias.shape))
-        self.graph.add_op(
-            self._unique(f"conv{tag}"), "conv2d", inputs, [out],
-            attrs={
-                "kernel": module.kernel_size, "stride": module.stride,
-                "padding": padding, "in_channels": module.in_channels,
-                "out_channels": module.out_channels,
-            },
-            saved=[value],
-            workspace_bytes=self.conv_workspace(module, out_hw),
+        attrs = {
+            "kernel": module.kernel_size, "stride": module.stride,
+            "padding": padding, "in_channels": module.in_channels,
+            "out_channels": module.out_channels,
+        }
+        (out_shape,) = infer_op_shapes("conv2d", [value.shape], attrs)
+        (out,) = self.add_registered_op(
+            f"conv{tag}", "conv2d", inputs, attrs,
+            out_names=[f"conv{tag}.out"],
+            workspace_bytes=self.conv_workspace(
+                module, (out_shape[2], out_shape[3])),
         )
         return out
 
     def emit_pool(self, module: Module, kind: str, value: TensorValue,
-                  out_hw: Tuple[int, int], padding, tag: str = "") -> TensorValue:
-        out = self.graph.add_tensor(
-            self._unique(f"{kind}pool{tag}.out"),
-            (value.shape[0], value.shape[1], out_hw[0], out_hw[1]),
-        )
-        self.graph.add_op(
-            self._unique(f"{kind}pool{tag}"), f"{kind}pool2d", [value], [out],
+                  padding, tag: str = "") -> TensorValue:
+        (out,) = self.add_registered_op(
+            f"{kind}pool{tag}", f"{kind}pool2d", [value],
             attrs={"kernel": module.kernel_size, "stride": module.stride,
                    "padding": padding},
-            saved=[value] if kind == "max" else [],
+            out_names=[f"{kind}pool{tag}.out"],
         )
         return out
 
     def emit_bn(self, module: BatchNorm2d, value: TensorValue, tag: str = "") -> TensorValue:
-        out = self.graph.add_tensor(self._unique(f"bn{tag}.out"), value.shape)
         weight = self.param(module, "weight", module.weight.shape)
         bias = self.param(module, "bias", module.bias.shape)
-        self.graph.add_op(
-            self._unique(f"bn{tag}"), "batchnorm", [value, weight, bias], [out],
+        (out,) = self.add_registered_op(
+            f"bn{tag}", "batchnorm", [value, weight, bias],
             attrs={"num_features": module.num_features, "recompute": False},
-            saved=[value],
+            out_names=[f"bn{tag}.out"],
         )
         return out
 
     def emit_relu(self, value: TensorValue, tag: str = "") -> TensorValue:
-        out = self.graph.add_tensor(self._unique(f"relu{tag}.out"), value.shape)
-        self.graph.add_op(
-            self._unique(f"relu{tag}"), "relu", [value], [out],
-            saved=[out], inplace_of=value,
+        (out,) = self.add_registered_op(
+            f"relu{tag}", "relu", [value], out_names=[f"relu{tag}.out"],
         )
         return out
 
     def emit_add(self, a: TensorValue, b: TensorValue, tag: str = "") -> TensorValue:
-        out = self.graph.add_tensor(self._unique(f"add{tag}.out"), a.shape)
-        self.graph.add_op(self._unique(f"add{tag}"), "add", [a, b], [out])
+        (out,) = self.add_registered_op(
+            f"add{tag}", "add", [a, b], out_names=[f"add{tag}.out"],
+        )
         return out
 
 
@@ -172,15 +202,6 @@ def _find(registry, module: Module) -> Callable:
 # ----------------------------------------------------------------------
 # Whole-tensor emitters
 # ----------------------------------------------------------------------
-def _window_out(module, in_hw: Tuple[int, int]) -> Tuple[int, int]:
-    from ..core.scheme import WindowSpec
-
-    (pt, pb), (pl, pr) = module.padding
-    spec_h = WindowSpec(module.kernel_size[0], module.stride[0], pt, pb)
-    spec_w = WindowSpec(module.kernel_size[1], module.stride[1], pl, pr)
-    return (spec_h.output_size(in_hw[0]), spec_w.output_size(in_hw[1]))
-
-
 def _emit_sequential(builder: GraphBuilder, module: Sequential, value: TensorValue) -> TensorValue:
     for item in module:
         value = builder.emit(item, value)
@@ -188,18 +209,15 @@ def _emit_sequential(builder: GraphBuilder, module: Sequential, value: TensorVal
 
 
 def _emit_conv(builder: GraphBuilder, module: Conv2d, value: TensorValue) -> TensorValue:
-    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
-    return builder.emit_conv(module, value, out_hw, module.padding)
+    return builder.emit_conv(module, value, module.padding)
 
 
 def _emit_maxpool(builder: GraphBuilder, module: MaxPool2d, value: TensorValue) -> TensorValue:
-    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
-    return builder.emit_pool(module, "max", value, out_hw, module.padding)
+    return builder.emit_pool(module, "max", value, module.padding)
 
 
 def _emit_avgpool(builder: GraphBuilder, module: AvgPool2d, value: TensorValue) -> TensorValue:
-    out_hw = _window_out(module, (value.shape[2], value.shape[3]))
-    return builder.emit_pool(module, "avg", value, out_hw, module.padding)
+    return builder.emit_pool(module, "avg", value, module.padding)
 
 
 def _emit_bn(builder: GraphBuilder, module: BatchNorm2d, value: TensorValue) -> TensorValue:
@@ -211,76 +229,57 @@ def _emit_relu(builder: GraphBuilder, module: ReLU, value: TensorValue) -> Tenso
 
 
 def _emit_gap(builder: GraphBuilder, module: GlobalAvgPool2d, value: TensorValue) -> TensorValue:
-    out = builder.graph.add_tensor(
-        builder._unique("gap.out"), (value.shape[0], value.shape[1], 1, 1)
-    )
-    builder.graph.add_op(builder._unique("gap"), "gap", [value], [out])
+    (out,) = builder.add_registered_op("gap", "gap", [value],
+                                       out_names=["gap.out"])
     return out
 
 
 def _emit_flatten(builder: GraphBuilder, module: Flatten, value: TensorValue) -> TensorValue:
-    import numpy as np
-
-    lead = value.shape[:module.start_dim]
-    tail = int(np.prod(value.shape[module.start_dim:]))
-    out = builder.graph.add_tensor(builder._unique("flatten.out"), lead + (tail,))
-    builder.graph.add_op(
-        builder._unique("flatten"), "flatten", [value], [out], inplace_of=value,
+    (out,) = builder.add_registered_op(
+        "flatten", "flatten", [value],
+        attrs={"start_dim": module.start_dim}, out_names=["flatten.out"],
     )
     return out
 
 
 def _emit_linear(builder: GraphBuilder, module: Linear, value: TensorValue) -> TensorValue:
-    out = builder.graph.add_tensor(
-        builder._unique("linear.out"), (value.shape[0], module.out_features)
-    )
     weight = builder.param(module, "weight", module.weight.shape)
     inputs = [value, weight]
     if module.bias is not None:
         inputs.append(builder.param(module, "bias", module.bias.shape))
-    builder.graph.add_op(
-        builder._unique("linear"), "linear", inputs, [out], saved=[value],
+    (out,) = builder.add_registered_op(
+        "linear", "linear", inputs,
         attrs={"in_features": module.in_features,
                "out_features": module.out_features},
+        out_names=["linear.out"],
     )
     return out
 
 
 def _emit_dropout(builder: GraphBuilder, module: Dropout, value: TensorValue) -> TensorValue:
-    out = builder.graph.add_tensor(builder._unique("dropout.out"), value.shape)
-    mask = builder.graph.add_tensor(
-        builder._unique("dropout.mask"), value.shape, dtype_bytes=1,
-    )
-    op = builder.graph.add_op(
-        builder._unique("dropout"), "dropout", [value], [out, mask],
-        attrs={"p": module.p}, saved=[mask], inplace_of=value,
+    out, _mask = builder.add_registered_op(
+        "dropout", "dropout", [value], attrs={"p": module.p},
+        out_names=["dropout.out", "dropout.mask"], out_dtypes={1: 1},
     )
     return out
 
 
 def _emit_activation(builder: GraphBuilder, module: Module, value: TensorValue) -> TensorValue:
-    out = builder.graph.add_tensor(
-        builder._unique(f"{type(module).__name__.lower()}.out"), value.shape
-    )
-    builder.graph.add_op(
-        builder._unique(type(module).__name__.lower()),
-        type(module).__name__.lower(), [value], [out], saved=[out],
-    )
+    base = type(module).__name__.lower()
+    (out,) = builder.add_registered_op(base, base, [value],
+                                       out_names=[f"{base}.out"])
     return out
 
 
 def _emit_basic_block(builder: GraphBuilder, block: BasicBlock, value: TensorValue) -> TensorValue:
-    out_hw1 = _window_out(block.conv1, (value.shape[2], value.shape[3]))
-    out = builder.emit_conv(block.conv1, value, out_hw1, block.conv1.padding, tag=".b1")
+    out = builder.emit_conv(block.conv1, value, block.conv1.padding, tag=".b1")
     out = builder.emit_bn(block.bn1, out, tag=".b1")
     out = builder.emit_relu(out, tag=".b1")
-    out_hw2 = _window_out(block.conv2, (out.shape[2], out.shape[3]))
-    out = builder.emit_conv(block.conv2, out, out_hw2, block.conv2.padding, tag=".b2")
+    out = builder.emit_conv(block.conv2, out, block.conv2.padding, tag=".b2")
     out = builder.emit_bn(block.bn2, out, tag=".b2")
     if block.downsample is not None:
         ds_conv, ds_bn = block.downsample[0], block.downsample[1]
-        ds_hw = _window_out(ds_conv, (value.shape[2], value.shape[3]))
-        identity = builder.emit_conv(ds_conv, value, ds_hw, ds_conv.padding, tag=".ds")
+        identity = builder.emit_conv(ds_conv, value, ds_conv.padding, tag=".ds")
         identity = builder.emit_bn(ds_bn, identity, tag=".ds")
     else:
         identity = value
@@ -289,21 +288,17 @@ def _emit_basic_block(builder: GraphBuilder, block: BasicBlock, value: TensorVal
 
 
 def _emit_bottleneck(builder: GraphBuilder, block: Bottleneck, value: TensorValue) -> TensorValue:
-    out_hw1 = _window_out(block.conv1, (value.shape[2], value.shape[3]))
-    out = builder.emit_conv(block.conv1, value, out_hw1, block.conv1.padding, tag=".b1")
+    out = builder.emit_conv(block.conv1, value, block.conv1.padding, tag=".b1")
     out = builder.emit_bn(block.bn1, out, tag=".b1")
     out = builder.emit_relu(out, tag=".b1")
-    out_hw2 = _window_out(block.conv2, (out.shape[2], out.shape[3]))
-    out = builder.emit_conv(block.conv2, out, out_hw2, block.conv2.padding, tag=".b2")
+    out = builder.emit_conv(block.conv2, out, block.conv2.padding, tag=".b2")
     out = builder.emit_bn(block.bn2, out, tag=".b2")
     out = builder.emit_relu(out, tag=".b2")
-    out_hw3 = _window_out(block.conv3, (out.shape[2], out.shape[3]))
-    out = builder.emit_conv(block.conv3, out, out_hw3, block.conv3.padding, tag=".b3")
+    out = builder.emit_conv(block.conv3, out, block.conv3.padding, tag=".b3")
     out = builder.emit_bn(block.bn3, out, tag=".b3")
     if block.downsample is not None:
         ds_conv, ds_bn = block.downsample[0], block.downsample[1]
-        ds_hw = _window_out(ds_conv, (value.shape[2], value.shape[3]))
-        identity = builder.emit_conv(ds_conv, value, ds_hw, ds_conv.padding, tag=".ds")
+        identity = builder.emit_conv(ds_conv, value, ds_conv.padding, tag=".ds")
         identity = builder.emit_bn(ds_bn, identity, tag=".ds")
     else:
         identity = value
@@ -325,18 +320,11 @@ def _emit_split_region(builder: GraphBuilder, region: SplitRegion,
     scheme_w = SplitScheme.even(out_hw[1], region.num_splits[1])
     back = handler.back(region.body, scheme_h, scheme_w, in_hw, region.position)
     in_h, in_w = back.in_scheme_h, back.in_scheme_w
-    h_sizes = in_h.part_sizes(in_hw[0])
-    w_sizes = in_w.part_sizes(in_hw[1])
-    patches: List[TensorValue] = []
-    for i in range(in_h.num_parts):
-        for j in range(in_w.num_parts):
-            patches.append(builder.graph.add_tensor(
-                builder._unique(f"split.patch{i}{j}"),
-                (value.shape[0], value.shape[1], h_sizes[i], w_sizes[j]),
-            ))
-    builder.graph.add_op(
-        builder._unique("split"), "split", [value], patches,
+    patches = builder.add_registered_op(
+        "split", "split", [value],
         attrs={"scheme_h": in_h.boundaries, "scheme_w": in_w.boundaries},
+        out_names=[f"split.patch{i}{j}" for i in range(in_h.num_parts)
+                   for j in range(in_w.num_parts)],
     )
     grid = [(i, j) for i in range(in_h.num_parts) for j in range(in_w.num_parts)]
     if builder.patch_order == "depth_first":
@@ -356,13 +344,9 @@ def _emit_split_region(builder: GraphBuilder, region: SplitRegion,
                 values[index] = builder.emit_patch(item, item_payload,
                                                    values[index], i, j)
         outputs = values
-    joined_shape = (
-        value.shape[0], outputs[0].shape[1], out_hw[0], out_hw[1],
-    )
-    joined = builder.graph.add_tensor(builder._unique("join.out"), joined_shape)
-    builder.graph.add_op(
-        builder._unique("join"), "concat", outputs, [joined],
-        attrs={"grid": region.num_splits},
+    (joined,) = builder.add_registered_op(
+        "join", "concat", outputs, attrs={"grid": region.num_splits},
+        out_names=["join.out"],
     )
     return joined
 
@@ -370,12 +354,6 @@ def _emit_split_region(builder: GraphBuilder, region: SplitRegion,
 # ----------------------------------------------------------------------
 # Patch emitters (mirror repro.core.region handlers, symbolically)
 # ----------------------------------------------------------------------
-def _plan_out_hw(plan: SplitPlan2d, i: int, j: int) -> Tuple[int, int]:
-    h_sizes = plan.height.output_split.part_sizes(plan.height.output_size)
-    w_sizes = plan.width.output_split.part_sizes(plan.width.output_size)
-    return (h_sizes[i], w_sizes[j])
-
-
 def _patch_sequential(builder: GraphBuilder, module: Sequential, payload: Any,
                       value: TensorValue, i: int, j: int) -> TensorValue:
     for item, (_, item_payload) in zip(module, payload):
@@ -385,20 +363,20 @@ def _patch_sequential(builder: GraphBuilder, module: Sequential, payload: Any,
 
 def _patch_conv(builder: GraphBuilder, module: Conv2d, plan: SplitPlan2d,
                 value: TensorValue, i: int, j: int) -> TensorValue:
-    return builder.emit_conv(module, value, _plan_out_hw(plan, i, j),
-                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+    return builder.emit_conv(module, value, plan.patch_padding(i, j),
+                             tag=f".p{i}{j}")
 
 
 def _patch_maxpool(builder: GraphBuilder, module: MaxPool2d, plan: SplitPlan2d,
                    value: TensorValue, i: int, j: int) -> TensorValue:
-    return builder.emit_pool(module, "max", value, _plan_out_hw(plan, i, j),
-                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+    return builder.emit_pool(module, "max", value, plan.patch_padding(i, j),
+                             tag=f".p{i}{j}")
 
 
 def _patch_avgpool(builder: GraphBuilder, module: AvgPool2d, plan: SplitPlan2d,
                    value: TensorValue, i: int, j: int) -> TensorValue:
-    return builder.emit_pool(module, "avg", value, _plan_out_hw(plan, i, j),
-                             plan.patch_padding(i, j), tag=f".p{i}{j}")
+    return builder.emit_pool(module, "avg", value, plan.patch_padding(i, j),
+                             tag=f".p{i}{j}")
 
 
 def _patch_bn(builder: GraphBuilder, module: BatchNorm2d, payload: Any,
@@ -420,17 +398,17 @@ def _patch_basic_block(builder: GraphBuilder, block: BasicBlock, payload: Any,
                        value: TensorValue, i: int, j: int) -> TensorValue:
     plan1, plan2, plan_ds = payload
     tag = f".p{i}{j}"
-    out = builder.emit_conv(block.conv1, value, _plan_out_hw(plan1, i, j),
-                            plan1.patch_padding(i, j), tag=tag + ".b1")
+    out = builder.emit_conv(block.conv1, value, plan1.patch_padding(i, j),
+                            tag=tag + ".b1")
     out = builder.emit_bn(block.bn1, out, tag=tag + ".b1")
     out = builder.emit_relu(out, tag=tag + ".b1")
-    out = builder.emit_conv(block.conv2, out, _plan_out_hw(plan2, i, j),
-                            plan2.patch_padding(i, j), tag=tag + ".b2")
+    out = builder.emit_conv(block.conv2, out, plan2.patch_padding(i, j),
+                            tag=tag + ".b2")
     out = builder.emit_bn(block.bn2, out, tag=tag + ".b2")
     if block.downsample is not None:
         ds_conv, ds_bn = block.downsample[0], block.downsample[1]
-        identity = builder.emit_conv(ds_conv, value, _plan_out_hw(plan_ds, i, j),
-                                     plan_ds.patch_padding(i, j), tag=tag + ".ds")
+        identity = builder.emit_conv(ds_conv, value, plan_ds.patch_padding(i, j),
+                                     tag=tag + ".ds")
         identity = builder.emit_bn(ds_bn, identity, tag=tag + ".ds")
     else:
         identity = value
@@ -442,21 +420,21 @@ def _patch_bottleneck(builder: GraphBuilder, block: Bottleneck, payload: Any,
                       value: TensorValue, i: int, j: int) -> TensorValue:
     plan1, plan2, plan3, plan_ds = payload
     tag = f".p{i}{j}"
-    out = builder.emit_conv(block.conv1, value, _plan_out_hw(plan1, i, j),
-                            plan1.patch_padding(i, j), tag=tag + ".b1")
+    out = builder.emit_conv(block.conv1, value, plan1.patch_padding(i, j),
+                            tag=tag + ".b1")
     out = builder.emit_bn(block.bn1, out, tag=tag + ".b1")
     out = builder.emit_relu(out, tag=tag + ".b1")
-    out = builder.emit_conv(block.conv2, out, _plan_out_hw(plan2, i, j),
-                            plan2.patch_padding(i, j), tag=tag + ".b2")
+    out = builder.emit_conv(block.conv2, out, plan2.patch_padding(i, j),
+                            tag=tag + ".b2")
     out = builder.emit_bn(block.bn2, out, tag=tag + ".b2")
     out = builder.emit_relu(out, tag=tag + ".b2")
-    out = builder.emit_conv(block.conv3, out, _plan_out_hw(plan3, i, j),
-                            plan3.patch_padding(i, j), tag=tag + ".b3")
+    out = builder.emit_conv(block.conv3, out, plan3.patch_padding(i, j),
+                            tag=tag + ".b3")
     out = builder.emit_bn(block.bn3, out, tag=tag + ".b3")
     if block.downsample is not None:
         ds_conv, ds_bn = block.downsample[0], block.downsample[1]
-        identity = builder.emit_conv(ds_conv, value, _plan_out_hw(plan_ds, i, j),
-                                     plan_ds.patch_padding(i, j), tag=tag + ".ds")
+        identity = builder.emit_conv(ds_conv, value, plan_ds.patch_padding(i, j),
+                                     tag=tag + ".ds")
         identity = builder.emit_bn(ds_bn, identity, tag=tag + ".ds")
     else:
         identity = value
@@ -526,10 +504,8 @@ def build_forward_graph(
     value = _emit_flatten(builder, Flatten(), value)
     value = builder.emit(model.classifier, value)
     if with_loss:
-        loss = graph.add_tensor("loss", (1,))
-        softmax = graph.add_tensor("softmax", value.shape)
-        graph.add_op("cross_entropy", "cross_entropy", [value], [loss, softmax],
-                     saved=[softmax])
+        builder.add_registered_op("cross_entropy", "cross_entropy", [value],
+                                  out_names=["loss", "softmax"])
     if builder.memory_efficient_bn:
         _apply_inplace_abn(graph)
     graph.validate()

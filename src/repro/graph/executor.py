@@ -12,25 +12,27 @@ models.  Two uses:
    timing 20 repeated executions; :class:`repro.profile.measured.
    MeasuredCostModel` drives this executor to do exactly that.
 
-Implementation note: backward ops are executed by re-instantiating the
-corresponding fused :class:`~repro.tensor.autograd.Function`, replaying
-its forward on the (still available) original inputs, and invoking its
-``backward`` — guaranteeing bit-identical gradient semantics with the
-autograd engine without duplicating any kernel math.
+Kernels live in :mod:`repro.graph.registry` — one per op type, dispatched
+through the same :class:`~repro.graph.registry.OpDef` record the builder,
+backward generator, cost model, and HMMS storage pass consume.
+
+Backward ops run against the *saved context* of their forward op: each
+fused :class:`~repro.tensor.autograd.Function` instantiated during the
+forward pass is cached (keyed by forward op id) and its ``backward`` is
+invoked directly — bit-identical gradient semantics with the autograd
+engine, without re-running the forward kernel inside every backward
+handler.  Pass ``reuse_contexts=False`` to restore the historical
+replay-the-forward behavior (the benchmark baseline).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..tensor.ops_nn import (
-    AvgPool2d as _AvgPoolFn, Conv2d as _ConvFn, CrossEntropy as _CeFn,
-    Dropout as _DropoutFn, MaxPool2d as _MaxPoolFn,
-)
-from ..nn.norm import _BatchNormTrain
 from .ir import Graph, OpNode
+from .registry import op_def
 
 __all__ = ["GraphExecutor"]
 
@@ -43,14 +45,23 @@ class GraphExecutor:
     graph: a graph produced by :func:`repro.graph.build_training_graph`.
     parameters: mapping from parameter tensor *name* to its array; use
         :meth:`parameters_from_model` to extract them in builder order.
-    dropout_seed: seed for dropout masks (IR dropout is replayable).
+    dropout_seed: base seed for dropout masks; each dropout op derives its
+        own stream from ``(dropout_seed, op.id)`` so distinct layers draw
+        distinct masks while staying replayable.
+    reuse_contexts: reuse each forward op's saved ``Function`` context in
+        its backward twin (default).  ``False`` replays the forward kernel
+        inside every backward handler instead — the pre-registry behavior,
+        kept for the ``benchmarks/test_executor_replay.py`` comparison.
     """
 
     def __init__(self, graph: Graph, parameters: Dict[str, np.ndarray],
-                 dropout_seed: int = 0) -> None:
+                 dropout_seed: int = 0, reuse_contexts: bool = True) -> None:
         self.graph = graph
         self.dropout_seed = dropout_seed
+        self.reuse_contexts = reuse_contexts
+        self.targets: Optional[np.ndarray] = None
         self.values: Dict[int, np.ndarray] = {}
+        self._contexts: Dict[int, Any] = {}
         self._param_names: Dict[int, str] = {}
         for tensor in graph.tensors.values():
             if tensor.kind == "parameter":
@@ -94,9 +105,22 @@ class GraphExecutor:
         return mapping
 
     # ------------------------------------------------------------------
+    def release_intermediates(self) -> None:
+        """Drop every non-parameter value and all saved contexts.
+
+        Repeated :meth:`run` calls (the §4.3 profiling loop) would
+        otherwise keep every activation, gradient, and forward context of
+        every step live.
+        """
+        self.values = {tensor_id: array
+                       for tensor_id, array in self.values.items()
+                       if tensor_id in self._param_names}
+        self._contexts.clear()
+
     def run(self, input_array: np.ndarray,
             targets: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
         """Execute every op; returns {'loss': ..., 'grad(<param>)': ...}."""
+        self.release_intermediates()
         input_tensor = next(t for t in self.graph.tensors.values()
                             if t.kind == "input")
         if tuple(input_array.shape) != input_tensor.shape:
@@ -106,7 +130,7 @@ class GraphExecutor:
             )
         self.values[input_tensor.id] = np.asarray(input_array,
                                                   dtype=np.float64)
-        self._targets = targets
+        self.targets = targets
         for op in self.graph.ops:
             self.execute_op(op)
         outputs: Dict[str, np.ndarray] = {}
@@ -128,236 +152,40 @@ class GraphExecutor:
 
     # ------------------------------------------------------------------
     def execute_op(self, op: OpNode) -> None:
-        handler = getattr(self, f"_op_{op.op_type}", None)
-        if handler is None:
-            raise NotImplementedError(f"executor: no rule for {op.op_type!r}")
-        handler(op)
+        op_def(op.op_type).kernel(self, op)
 
-    def _in(self, op: OpNode, index: int) -> np.ndarray:
+    # -- kernel-facing helpers (the registry kernels' executor API) ------
+    def input(self, op: OpNode, index: int) -> np.ndarray:
         return self.values[op.inputs[index]]
 
-    def _set(self, op: OpNode, index: int, value: np.ndarray) -> None:
+    def set_output(self, op: OpNode, index: int, value: np.ndarray) -> None:
         self.values[op.outputs[index]] = value
 
-    def _forward_op(self, op: OpNode) -> OpNode:
-        return self.graph.ops[op.forward_of]
+    def forward_op(self, op: OpNode) -> OpNode:
+        return self.graph.op_by_id(op.forward_of)
 
-    # -- forward ops -----------------------------------------------------
-    def _op_conv2d(self, op: OpNode) -> None:
-        fn = _ConvFn()
-        bias = self._in(op, 2) if len(op.inputs) > 2 else None
-        out = fn.forward(self._in(op, 0), self._in(op, 1), bias,
-                         op.attrs["stride"], op.attrs["padding"])
-        self._set(op, 0, out)
+    def save_context(self, op: OpNode, fn: Any) -> None:
+        """Cache a forward op's ``Function`` for its backward twin."""
+        self._contexts[op.id] = fn
 
-    def _op_linear(self, op: OpNode) -> None:
-        out = self._in(op, 0) @ self._in(op, 1).T
-        if len(op.inputs) > 2:
-            out = out + self._in(op, 2)
-        self._set(op, 0, out)
+    def forward_context(self, op: OpNode) -> Any:
+        """The ``Function`` context of ``op``'s forward op.
 
-    def _op_batchnorm(self, op: OpNode) -> None:
-        fn = _BatchNormTrain()
-        out = fn.forward(self._in(op, 0), self._in(op, 1), self._in(op, 2),
-                         1e-5)
-        self._set(op, 0, out)
+        With ``reuse_contexts`` the context saved when the forward op ran
+        is returned directly; without it, the forward kernel is replayed
+        to rebuild a fresh context (outputs are overwritten with identical
+        values — forward kernels with contexts are deterministic).
+        """
+        forward = self.forward_op(op)
+        if not self.reuse_contexts:
+            self.execute_op(forward)
+            return self._contexts.pop(forward.id)
+        ctx = self._contexts.get(forward.id)
+        if ctx is None:
+            self.execute_op(forward)
+            ctx = self._contexts[forward.id]
+        return ctx
 
-    def _op_relu(self, op: OpNode) -> None:
-        self._set(op, 0, np.maximum(self._in(op, 0), 0.0))
-
-    def _op_sigmoid(self, op: OpNode) -> None:
-        self._set(op, 0, 1.0 / (1.0 + np.exp(-self._in(op, 0))))
-
-    def _op_tanh(self, op: OpNode) -> None:
-        self._set(op, 0, np.tanh(self._in(op, 0)))
-
-    def _op_maxpool2d(self, op: OpNode) -> None:
-        fn = _MaxPoolFn()
-        self._set(op, 0, fn.forward(self._in(op, 0), op.attrs["kernel"],
-                                    op.attrs["stride"], op.attrs["padding"]))
-
-    def _op_avgpool2d(self, op: OpNode) -> None:
-        fn = _AvgPoolFn()
-        self._set(op, 0, fn.forward(self._in(op, 0), op.attrs["kernel"],
-                                    op.attrs["stride"], op.attrs["padding"]))
-
-    def _op_gap(self, op: OpNode) -> None:
-        self._set(op, 0, self._in(op, 0).mean(axis=(2, 3), keepdims=True))
-
-    def _op_flatten(self, op: OpNode) -> None:
-        shape = self.graph.tensor(op.outputs[0]).shape
-        self._set(op, 0, self._in(op, 0).reshape(shape))
-
-    def _op_add(self, op: OpNode) -> None:
-        self._set(op, 0, self._in(op, 0) + self._in(op, 1))
-
-    def _op_dropout(self, op: OpNode) -> None:
-        fn = _DropoutFn()
-        out = fn.forward(self._in(op, 0), op.attrs["p"], self.dropout_seed)
-        self._set(op, 0, out)
-        self._set(op, 1, fn.keep)
-
-    def _op_split(self, op: OpNode) -> None:
-        x = self._in(op, 0)
-        h_bounds = list(op.attrs["scheme_h"]) + [x.shape[2]]
-        w_bounds = list(op.attrs["scheme_w"]) + [x.shape[3]]
-        index = 0
-        for i in range(len(h_bounds) - 1):
-            for j in range(len(w_bounds) - 1):
-                self._set(op, index, np.ascontiguousarray(
-                    x[:, :, h_bounds[i]:h_bounds[i + 1],
-                      w_bounds[j]:w_bounds[j + 1]]))
-                index += 1
-
-    def _op_concat(self, op: OpNode) -> None:
-        grid_h, grid_w = op.attrs["grid"]
-        patches = [self._in(op, k) for k in range(len(op.inputs))]
-        rows = []
-        for i in range(grid_h):
-            rows.append(np.concatenate(patches[i * grid_w:(i + 1) * grid_w],
-                                       axis=3))
-        self._set(op, 0, np.concatenate(rows, axis=2))
-
-    def _op_cross_entropy(self, op: OpNode) -> None:
-        if self._targets is None:
-            raise ValueError("graph contains a loss op but no targets given")
-        fn = _CeFn()
-        loss = fn.forward(self._in(op, 0), np.asarray(self._targets))
-        self._set(op, 0, np.asarray([float(loss)]))
-        self._set(op, 1, fn.softmax)
-
-    # -- backward ops ------------------------------------------------------
-    def _op_conv2d_bwd_data(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        fn = _ConvFn()
-        bias = self.values[forward.inputs[2]] if len(forward.inputs) > 2 else None
-        fn.forward(self.values[forward.inputs[0]],
-                   self.values[forward.inputs[1]], bias,
-                   forward.attrs["stride"], forward.attrs["padding"])
-        grads = fn.backward(self._in(op, 0))
-        self._set(op, 0, grads[0])
-
-    def _op_conv2d_bwd_weight(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        fn = _ConvFn()
-        bias = self.values[forward.inputs[2]] if len(forward.inputs) > 2 else None
-        fn.forward(self.values[forward.inputs[0]],
-                   self.values[forward.inputs[1]], bias,
-                   forward.attrs["stride"], forward.attrs["padding"])
-        grads = fn.backward(self._in(op, 0))
-        self._set(op, 0, grads[1])
-        if len(op.outputs) > 1:
-            self._set(op, 1, grads[2])
-
-    def _op_linear_bwd_data(self, op: OpNode) -> None:
-        self._set(op, 0, self._in(op, 0) @ self._in(op, 1))
-
-    def _op_linear_bwd_weight(self, op: OpNode) -> None:
-        grad_out, x = self._in(op, 0), self._in(op, 1)
-        self._set(op, 0, grad_out.T @ x)
-        if len(op.outputs) > 1:
-            self._set(op, 1, grad_out.sum(axis=0))
-
-    def _op_batchnorm_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        fn = _BatchNormTrain()
-        fn.forward(self.values[forward.inputs[0]],
-                   self.values[forward.inputs[1]],
-                   self.values[forward.inputs[2]], 1e-5)
-        grads = fn.backward(self._in(op, 0))
-        self._set(op, 0, grads[0])
-        self._set(op, 1, grads[1])
-        self._set(op, 2, grads[2])
-
-    def _op_relu_bwd(self, op: OpNode) -> None:
-        grad_out, out = self._in(op, 0), self._in(op, 1)
-        self._set(op, 0, np.where(out > 0, grad_out, 0.0))
-
-    def _op_sigmoid_bwd(self, op: OpNode) -> None:
-        grad_out, out = self._in(op, 0), self._in(op, 1)
-        self._set(op, 0, grad_out * out * (1.0 - out))
-
-    def _op_tanh_bwd(self, op: OpNode) -> None:
-        grad_out, out = self._in(op, 0), self._in(op, 1)
-        self._set(op, 0, grad_out * (1.0 - out * out))
-
-    def _op_maxpool2d_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        fn = _MaxPoolFn()
-        fn.forward(self.values[forward.inputs[0]], forward.attrs["kernel"],
-                   forward.attrs["stride"], forward.attrs["padding"])
-        self._set(op, 0, fn.backward(self._in(op, 0))[0])
-
-    def _op_avgpool2d_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        fn = _AvgPoolFn()
-        fn.forward(self.values[forward.inputs[0]], forward.attrs["kernel"],
-                   forward.attrs["stride"], forward.attrs["padding"])
-        self._set(op, 0, fn.backward(self._in(op, 0))[0])
-
-    def _op_gap_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        x_shape = self.graph.tensor(forward.inputs[0]).shape
-        scale = 1.0 / (x_shape[2] * x_shape[3])
-        self._set(op, 0, np.broadcast_to(self._in(op, 0) * scale,
-                                         x_shape).copy())
-
-    def _op_flatten_bwd(self, op: OpNode) -> None:
-        shape = self.graph.tensor(op.outputs[0]).shape
-        self._set(op, 0, self._in(op, 0).reshape(shape))
-
-    def _op_dropout_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        p = forward.attrs["p"]
-        scale = 1.0 / (1.0 - p) if p < 1.0 else 0.0
-        self._set(op, 0, self._in(op, 0) * self._in(op, 1) * scale)
-
-    def _op_add_bwd(self, op: OpNode) -> None:
-        grad = self._in(op, 0)
-        self._set(op, 0, grad)
-        self._set(op, 1, grad)
-
-    def _op_grad_acc(self, op: OpNode) -> None:
-        self._set(op, 0, self._in(op, 0) + self._in(op, 1))
-
-    def _op_split_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        x_shape = self.graph.tensor(forward.inputs[0]).shape
-        h_bounds = list(forward.attrs["scheme_h"]) + [x_shape[2]]
-        w_bounds = list(forward.attrs["scheme_w"]) + [x_shape[3]]
-        grad = np.zeros(x_shape, dtype=self._in(op, 0).dtype)
-        index = 0
-        for i in range(len(h_bounds) - 1):
-            for j in range(len(w_bounds) - 1):
-                grad[:, :, h_bounds[i]:h_bounds[i + 1],
-                     w_bounds[j]:w_bounds[j + 1]] = self._in(op, index)
-                index += 1
-        self._set(op, 0, grad)
-
-    def _op_concat_bwd(self, op: OpNode) -> None:
-        forward = self._forward_op(op)
-        grid_h, grid_w = forward.attrs["grid"]
-        grad = self._in(op, 0)
-        # Patch shapes come from the forward concat's inputs.
-        shapes = [self.graph.tensor(t).shape for t in forward.inputs]
-        index = 0
-        row_start = 0
-        for i in range(grid_h):
-            row_height = shapes[i * grid_w][2]
-            col_start = 0
-            for j in range(grid_w):
-                width = shapes[i * grid_w + j][3]
-                self._set(op, index, np.ascontiguousarray(
-                    grad[:, :, row_start:row_start + row_height,
-                         col_start:col_start + width]))
-                col_start += width
-                index += 1
-            row_start += row_height
-        del index
-
-    def _op_cross_entropy_bwd(self, op: OpNode) -> None:
-        softmax = self._in(op, 0)
-        batch = softmax.shape[0]
-        grad = softmax.copy()
-        grad[np.arange(batch), np.asarray(self._targets, dtype=np.int64)] -= 1.0
-        self._set(op, 0, grad / batch)
+    def dropout_op_seed(self, op: OpNode) -> Tuple[int, int]:
+        """Per-op dropout seed: distinct layers draw distinct masks."""
+        return (self.dropout_seed, op.id)

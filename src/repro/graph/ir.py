@@ -157,9 +157,23 @@ class Graph:
         return sum(t.nbytes for t in self.tensors.values() if t.kind == "parameter")
 
     def validate(self) -> None:
-        """Sanity-check the serialization: defs precede uses."""
+        """Sanity-check the serialization.
+
+        Three properties, all failing loudly at graph-build time:
+
+        - defs precede uses (the serialized order is executable);
+        - every op type has a registered :class:`~repro.graph.registry.
+          OpDef` (raises :class:`NotImplementedError` otherwise — no op
+          can reach the executor, cost model, or HMMS undefined);
+        - recorded output shapes match the registry's symbolic shape
+          inference, for every op type that defines one.
+        """
+        # Deferred: registry.py imports this module for the OpDef types.
+        from .registry import infer_op_shapes, op_def
+
         position = {op.id: index for index, op in enumerate(self.ops)}
         for op in self.ops:
+            definition = op_def(op.op_type)
             for tensor_id in op.inputs:
                 tensor = self.tensors[tensor_id]
                 if tensor.producer is not None:
@@ -168,6 +182,18 @@ class Graph:
                             f"op {op.name!r} consumes tensor {tensor.name!r} "
                             "before it is produced"
                         )
+            if definition.infer_shapes is None:
+                continue
+            inferred = infer_op_shapes(
+                op.op_type, [self.tensors[i].shape for i in op.inputs],
+                op.attrs,
+            )
+            recorded = [self.tensors[i].shape for i in op.outputs]
+            if inferred != recorded:
+                raise ValueError(
+                    f"op {op.name!r} ({op.op_type}): recorded output shapes "
+                    f"{recorded} disagree with registry inference {inferred}"
+                )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,877 @@
+"""Central op registry — one definition per op type.
+
+Before this module existed, every op's semantics were encoded five
+separate times: shape inference in :mod:`.builder`, backward expansion in
+:mod:`.backward`, numeric execution in :mod:`.executor`, roofline
+characterization in :mod:`repro.profile.cost`, and storage-sharing
+eligibility in :mod:`repro.hmms.storage`.  Adding an op meant touching
+five dispatch tables, and drift between them surfaced only when a test
+happened to cross-validate.
+
+:class:`OpDef` collapses the five tables into one record per ``op_type``:
+
+========================  ====================================================
+field                     consumer
+========================  ====================================================
+``infer_shapes``          :class:`~repro.graph.builder.GraphBuilder` (output
+                          tensor shapes) and :meth:`Graph.validate`
+``kernel``                :class:`~repro.graph.executor.GraphExecutor`
+``backward``              :func:`~repro.graph.backward.append_backward_graph`
+``characterize`` /        :class:`~repro.profile.cost.CostModel` (roofline
+``efficiency`` / ``free``  flops + bytes + efficiency class)
+``saved`` / ``inplace`` / :class:`~repro.graph.builder.GraphBuilder` and
+``sharing``               :func:`~repro.hmms.storage.assign_storage` (HMMS
+                          storage hints: saved tensors, in-place eligibility,
+                          TSO-sharing class)
+========================  ====================================================
+
+Every op type appearing in a serialized graph — forward and backward —
+has exactly one entry in :data:`REGISTRY`; :meth:`Graph.validate` fails
+loudly at graph-build time when an op has no registered definition.
+
+Numeric kernels receive ``(executor, op)``.  Forward kernels of fused ops
+store their :class:`~repro.tensor.autograd.Function` context via
+``executor.save_context`` so the matching backward kernels can reuse it
+through ``executor.forward_context`` instead of re-instantiating and
+replaying the forward — roughly halving IR-executor step time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.norm import _BatchNormTrain
+from ..tensor.ops_nn import (
+    AvgPool2d as _AvgPoolFn, Conv2d as _ConvFn, CrossEntropy as _CeFn,
+    Dropout as _DropoutFn, MaxPool2d as _MaxPoolFn, conv_output_size,
+)
+from .ir import Graph, OpNode
+
+__all__ = [
+    "OpDef", "REGISTRY", "op_def", "has_op", "infer_op_shapes",
+    "EFF_CONV", "EFF_GEMM", "EFF_MEMORY",
+    "SHARE_NONE", "SHARE_ALIAS", "SHARE_SUMMATION",
+]
+
+Shape = Tuple[int, ...]
+
+# Compute-efficiency classes resolved against a DeviceSpec by the cost
+# model (GEMM-shaped ops reach a higher fraction of peak than generic
+# convolutions; everything else sits on the bandwidth roof).
+EFF_CONV = "conv"
+EFF_GEMM = "gemm"
+EFF_MEMORY = "memory"
+
+# TSO-sharing classes consumed by the HMMS storage assignment (§4.2).
+SHARE_NONE = "none"            # ordinary tensor, own TSO
+SHARE_ALIAS = "alias"          # pure view: output always aliases input 0
+SHARE_SUMMATION = "summation"  # summation error terms share the upstream TSO
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Everything the system knows about one ``op_type``."""
+
+    op_type: str
+    # Numeric execution: kernel(executor, op) reads/writes executor.values.
+    kernel: Callable[[Any, OpNode], None]
+    # Roofline characterization: (graph, op) -> (flops, bytes_moved).
+    characterize: Callable[[Graph, OpNode], Tuple[float, float]]
+    # Symbolic shape inference: (input_shapes, attrs) -> output shapes.
+    # None for backward op types, whose shapes mirror existing tensors.
+    infer_shapes: Optional[
+        Callable[[Sequence[Shape], Dict[str, Any]], List[Shape]]] = None
+    # Backward-expansion rule: (emitter, op) -> None.  None for op types
+    # that never appear in a differentiated forward graph.
+    backward: Optional[Callable[[Any, OpNode], None]] = None
+    efficiency: str = EFF_MEMORY
+    free: bool = False              # zero-cost (views, aliased error terms)
+    sharing: str = SHARE_NONE       # TSO-sharing class (HMMS §4.2)
+    inplace: bool = False           # output 0 may reuse input 0's TSO
+    # Which tensors the op keeps alive for its backward twin, as
+    # ("input"|"output", index) references — the paper's per-layer
+    # "generated data" (Figure 1).
+    saved: Tuple[Tuple[str, int], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Symbolic shape inference (consumed by the builder and Graph.validate)
+# ----------------------------------------------------------------------
+def _window_hw(in_hw: Shape, kernel, stride, padding) -> Tuple[int, int]:
+    (pt, pb), (pl, pr) = padding
+    return (conv_output_size(in_hw[0], kernel[0], stride[0], pt, pb),
+            conv_output_size(in_hw[1], kernel[1], stride[1], pl, pr))
+
+
+def _shape_conv2d(ins, attrs):
+    n, _, h, w = ins[0]
+    ho, wo = _window_hw((h, w), attrs["kernel"], attrs["stride"],
+                        attrs["padding"])
+    return [(n, attrs["out_channels"], ho, wo)]
+
+
+def _shape_pool(ins, attrs):
+    n, c, h, w = ins[0]
+    ho, wo = _window_hw((h, w), attrs["kernel"], attrs["stride"],
+                        attrs["padding"])
+    return [(n, c, ho, wo)]
+
+
+def _shape_same(ins, attrs):
+    return [ins[0]]
+
+
+def _shape_dropout(ins, attrs):
+    return [ins[0], ins[0]]        # output + keep-mask
+
+
+def _shape_gap(ins, attrs):
+    return [(ins[0][0], ins[0][1], 1, 1)]
+
+
+def _shape_flatten(ins, attrs):
+    start = attrs["start_dim"]
+    lead = tuple(ins[0][:start])
+    return [lead + (int(np.prod(ins[0][start:])),)]
+
+
+def _shape_linear(ins, attrs):
+    return [(ins[0][0], attrs["out_features"])]
+
+
+def _split_part_sizes(boundaries, full: int) -> List[int]:
+    bounds = list(boundaries) + [full]
+    return [bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)]
+
+
+def _shape_split(ins, attrs):
+    n, c, h, w = ins[0]
+    h_sizes = _split_part_sizes(attrs["scheme_h"], h)
+    w_sizes = _split_part_sizes(attrs["scheme_w"], w)
+    return [(n, c, hs, ws) for hs in h_sizes for ws in w_sizes]
+
+
+def _shape_concat(ins, attrs):
+    grid_h, grid_w = attrs["grid"]
+    height = sum(ins[i * grid_w][2] for i in range(grid_h))
+    width = sum(ins[j][3] for j in range(grid_w))
+    return [(ins[0][0], ins[0][1], height, width)]
+
+
+def _shape_cross_entropy(ins, attrs):
+    return [(1,), ins[0]]          # scalar loss + saved softmax
+
+
+# ----------------------------------------------------------------------
+# Numeric kernels (consumed by the executor)
+# ----------------------------------------------------------------------
+def _k_conv2d(ex, op):
+    fn = _ConvFn()
+    bias = ex.input(op, 2) if len(op.inputs) > 2 else None
+    out = fn.forward(ex.input(op, 0), ex.input(op, 1), bias,
+                     op.attrs["stride"], op.attrs["padding"])
+    ex.save_context(op, fn)
+    ex.set_output(op, 0, out)
+
+
+def _k_conv2d_bwd_data(ex, op):
+    ctx = ex.forward_context(op)
+    ex.set_output(op, 0, ctx.backward_input(ex.input(op, 0)))
+
+
+def _k_conv2d_bwd_weight(ex, op):
+    ctx = ex.forward_context(op)
+    grad_out = ex.input(op, 0)
+    ex.set_output(op, 0, ctx.backward_weight(grad_out))
+    if len(op.outputs) > 1:
+        ex.set_output(op, 1, grad_out.sum(axis=(0, 2, 3)))
+
+
+def _k_linear(ex, op):
+    out = ex.input(op, 0) @ ex.input(op, 1).T
+    if len(op.inputs) > 2:
+        out = out + ex.input(op, 2)
+    ex.set_output(op, 0, out)
+
+
+def _k_linear_bwd_data(ex, op):
+    ex.set_output(op, 0, ex.input(op, 0) @ ex.input(op, 1))
+
+
+def _k_linear_bwd_weight(ex, op):
+    grad_out, x = ex.input(op, 0), ex.input(op, 1)
+    ex.set_output(op, 0, grad_out.T @ x)
+    if len(op.outputs) > 1:
+        ex.set_output(op, 1, grad_out.sum(axis=0))
+
+
+def _k_batchnorm(ex, op):
+    fn = _BatchNormTrain()
+    out = fn.forward(ex.input(op, 0), ex.input(op, 1), ex.input(op, 2), 1e-5)
+    ex.save_context(op, fn)
+    ex.set_output(op, 0, out)
+
+
+def _k_batchnorm_bwd(ex, op):
+    grads = ex.forward_context(op).backward(ex.input(op, 0))
+    ex.set_output(op, 0, grads[0])
+    ex.set_output(op, 1, grads[1])
+    ex.set_output(op, 2, grads[2])
+
+
+def _k_relu(ex, op):
+    ex.set_output(op, 0, np.maximum(ex.input(op, 0), 0.0))
+
+
+def _k_relu_bwd(ex, op):
+    grad_out, out = ex.input(op, 0), ex.input(op, 1)
+    ex.set_output(op, 0, np.where(out > 0, grad_out, 0.0))
+
+
+def _k_sigmoid(ex, op):
+    ex.set_output(op, 0, 1.0 / (1.0 + np.exp(-ex.input(op, 0))))
+
+
+def _k_sigmoid_bwd(ex, op):
+    grad_out, out = ex.input(op, 0), ex.input(op, 1)
+    ex.set_output(op, 0, grad_out * out * (1.0 - out))
+
+
+def _k_tanh(ex, op):
+    ex.set_output(op, 0, np.tanh(ex.input(op, 0)))
+
+
+def _k_tanh_bwd(ex, op):
+    grad_out, out = ex.input(op, 0), ex.input(op, 1)
+    ex.set_output(op, 0, grad_out * (1.0 - out * out))
+
+
+def _k_maxpool2d(ex, op):
+    fn = _MaxPoolFn()
+    out = fn.forward(ex.input(op, 0), op.attrs["kernel"], op.attrs["stride"],
+                     op.attrs["padding"])
+    ex.save_context(op, fn)
+    ex.set_output(op, 0, out)
+
+
+def _k_avgpool2d(ex, op):
+    fn = _AvgPoolFn()
+    out = fn.forward(ex.input(op, 0), op.attrs["kernel"], op.attrs["stride"],
+                     op.attrs["padding"])
+    ex.save_context(op, fn)
+    ex.set_output(op, 0, out)
+
+
+def _k_pool_bwd(ex, op):
+    ex.set_output(op, 0, ex.forward_context(op).backward(ex.input(op, 0))[0])
+
+
+def _k_gap(ex, op):
+    ex.set_output(op, 0, ex.input(op, 0).mean(axis=(2, 3), keepdims=True))
+
+
+def _k_gap_bwd(ex, op):
+    forward = ex.forward_op(op)
+    x_shape = ex.graph.tensor(forward.inputs[0]).shape
+    scale = 1.0 / (x_shape[2] * x_shape[3])
+    ex.set_output(op, 0, np.broadcast_to(ex.input(op, 0) * scale,
+                                         x_shape).copy())
+
+
+def _k_flatten(ex, op):
+    shape = ex.graph.tensor(op.outputs[0]).shape
+    ex.set_output(op, 0, ex.input(op, 0).reshape(shape))
+
+
+def _k_add(ex, op):
+    ex.set_output(op, 0, ex.input(op, 0) + ex.input(op, 1))
+
+
+def _k_add_bwd(ex, op):
+    grad = ex.input(op, 0)
+    ex.set_output(op, 0, grad)
+    ex.set_output(op, 1, grad)
+
+
+def _k_grad_acc(ex, op):
+    ex.set_output(op, 0, ex.input(op, 0) + ex.input(op, 1))
+
+
+def _k_dropout(ex, op):
+    fn = _DropoutFn()
+    out = fn.forward(ex.input(op, 0), op.attrs["p"], ex.dropout_op_seed(op))
+    ex.set_output(op, 0, out)
+    ex.set_output(op, 1, fn.keep)
+
+
+def _k_dropout_bwd(ex, op):
+    p = ex.forward_op(op).attrs["p"]
+    scale = 1.0 / (1.0 - p) if p < 1.0 else 0.0
+    ex.set_output(op, 0, ex.input(op, 0) * ex.input(op, 1) * scale)
+
+
+def _k_split(ex, op):
+    x = ex.input(op, 0)
+    h_bounds = list(op.attrs["scheme_h"]) + [x.shape[2]]
+    w_bounds = list(op.attrs["scheme_w"]) + [x.shape[3]]
+    index = 0
+    for i in range(len(h_bounds) - 1):
+        for j in range(len(w_bounds) - 1):
+            ex.set_output(op, index, np.ascontiguousarray(
+                x[:, :, h_bounds[i]:h_bounds[i + 1],
+                  w_bounds[j]:w_bounds[j + 1]]))
+            index += 1
+
+
+def _k_split_bwd(ex, op):
+    forward = ex.forward_op(op)
+    x_shape = ex.graph.tensor(forward.inputs[0]).shape
+    h_bounds = list(forward.attrs["scheme_h"]) + [x_shape[2]]
+    w_bounds = list(forward.attrs["scheme_w"]) + [x_shape[3]]
+    grad = np.zeros(x_shape, dtype=ex.input(op, 0).dtype)
+    index = 0
+    for i in range(len(h_bounds) - 1):
+        for j in range(len(w_bounds) - 1):
+            grad[:, :, h_bounds[i]:h_bounds[i + 1],
+                 w_bounds[j]:w_bounds[j + 1]] = ex.input(op, index)
+            index += 1
+    ex.set_output(op, 0, grad)
+
+
+def _k_concat(ex, op):
+    grid_h, grid_w = op.attrs["grid"]
+    patches = [ex.input(op, k) for k in range(len(op.inputs))]
+    rows = []
+    for i in range(grid_h):
+        rows.append(np.concatenate(patches[i * grid_w:(i + 1) * grid_w],
+                                   axis=3))
+    ex.set_output(op, 0, np.concatenate(rows, axis=2))
+
+
+def _k_concat_bwd(ex, op):
+    forward = ex.forward_op(op)
+    grid_h, grid_w = forward.attrs["grid"]
+    grad = ex.input(op, 0)
+    # Patch shapes come from the forward concat's inputs.
+    shapes = [ex.graph.tensor(t).shape for t in forward.inputs]
+    index = 0
+    row_start = 0
+    for i in range(grid_h):
+        row_height = shapes[i * grid_w][2]
+        col_start = 0
+        for j in range(grid_w):
+            width = shapes[i * grid_w + j][3]
+            ex.set_output(op, index, np.ascontiguousarray(
+                grad[:, :, row_start:row_start + row_height,
+                     col_start:col_start + width]))
+            col_start += width
+            index += 1
+        row_start += row_height
+
+
+def _k_cross_entropy(ex, op):
+    if ex.targets is None:
+        raise ValueError("graph contains a loss op but no targets given")
+    fn = _CeFn()
+    loss = fn.forward(ex.input(op, 0), np.asarray(ex.targets))
+    ex.set_output(op, 0, np.asarray([float(loss)]))
+    ex.set_output(op, 1, fn.softmax)
+
+
+def _k_cross_entropy_bwd(ex, op):
+    softmax = ex.input(op, 0)
+    batch = softmax.shape[0]
+    grad = softmax.copy()
+    grad[np.arange(batch), np.asarray(ex.targets, dtype=np.int64)] -= 1.0
+    ex.set_output(op, 0, grad / batch)
+
+
+# ----------------------------------------------------------------------
+# Backward-expansion rules (consumed by append_backward_graph)
+# ----------------------------------------------------------------------
+def _grad_inplace(op_type: str, grad_out):
+    """Resolve a backward op's in-place hint from its registry entry."""
+    return grad_out if REGISTRY[op_type].inplace else None
+
+
+def _bwd_cross_entropy(em, op):
+    (logits,), (loss, softmax) = em._io(op)
+    grad_logits = em.new_grad(logits)
+    em.graph.add_op(
+        f"{op.name}.bwd", "cross_entropy_bwd", [softmax], [grad_logits],
+        phase="backward", forward_of=op.id,
+    )
+    em.contribute(logits, grad_logits, op)
+
+
+def _bwd_matmul_family(em, op, data_type: str, weight_type: str,
+                       workspace_bytes: int = 0):
+    """Shared rule for ops with (input, weight[, bias]) -> output."""
+    inputs, (out,) = em._io(op)
+    x, weight = inputs[0], inputs[1]
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd_data", data_type, [grad_out, weight], [grad_x],
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+        workspace_bytes=workspace_bytes,
+    )
+    grad_w = em.new_grad(weight, kind="gradient")
+    wgrad_outputs = [grad_w]
+    wgrad_inputs = [grad_out, x]
+    if len(inputs) == 3:
+        wgrad_outputs.append(em.new_grad(inputs[2], kind="gradient"))
+    em.graph.add_op(
+        f"{op.name}.bwd_weight", weight_type, wgrad_inputs, wgrad_outputs,
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+        workspace_bytes=workspace_bytes,
+    )
+    # Weights may be consumed by several forward ops (e.g. one conv
+    # split into patches): their gradients accumulate like any other.
+    em.contribute(weight, grad_w, op)
+    if len(inputs) == 3:
+        em.contribute(inputs[2], wgrad_outputs[1], op)
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_linear(em, op):
+    _bwd_matmul_family(em, op, "linear_bwd_data", "linear_bwd_weight")
+
+
+def _bwd_conv2d(em, op):
+    _bwd_matmul_family(em, op, "conv2d_bwd_data", "conv2d_bwd_weight",
+                       workspace_bytes=op.workspace_bytes)
+
+
+def _bwd_batchnorm(em, op):
+    (x, weight, bias), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    grad_w = em.new_grad(weight, kind="gradient")
+    grad_b = em.new_grad(bias, kind="gradient")
+    recompute = bool(op.attrs.get("recompute"))
+    bwd_inputs = [grad_out, weight] if recompute else [grad_out, x, weight]
+    em.graph.add_op(
+        f"{op.name}.bwd", "batchnorm_bwd", bwd_inputs, [grad_x, grad_w, grad_b],
+        phase="backward", forward_of=op.id,
+        attrs={"recompute": recompute},
+    )
+    em.contribute(weight, grad_w, op)
+    em.contribute(bias, grad_b, op)
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_relu(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "relu_bwd", [grad_out, out], [grad_x],
+        phase="backward", forward_of=op.id,
+        inplace_of=_grad_inplace("relu_bwd", grad_out),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_maxpool2d(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "maxpool2d_bwd", [grad_out, x], [grad_x],
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_avgpool2d(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "avgpool2d_bwd", [grad_out], [grad_x],
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_gap(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "gap_bwd", [grad_out], [grad_x],
+        phase="backward", forward_of=op.id,
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_flatten(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "flatten_bwd", [grad_out], [grad_x],
+        phase="backward", forward_of=op.id,
+        inplace_of=_grad_inplace("flatten_bwd", grad_out),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_dropout(em, op):
+    (x,), (out, mask) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "dropout_bwd", [grad_out, mask], [grad_x],
+        phase="backward", forward_of=op.id,
+        inplace_of=_grad_inplace("dropout_bwd", grad_out),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_add(em, op):
+    (a, b), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_a = em.new_grad(a)
+    grad_b = em.new_grad(b)
+    em.graph.add_op(
+        f"{op.name}.bwd", "add_bwd", [grad_out], [grad_a, grad_b],
+        phase="backward", forward_of=op.id,
+        attrs={"shared_value": True},
+        inplace_of=_grad_inplace("add_bwd", grad_out),
+    )
+    em.contribute(a, grad_a, op)
+    em.contribute(b, grad_b, op)
+
+
+def _bwd_split(em, op):
+    (x,), patches = em._io(op)
+    patch_grads = []
+    for patch in patches:
+        grad = em.grad_of(patch.id)
+        if grad is None:
+            return
+        patch_grads.append(grad)
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", "split_bwd", patch_grads, [grad_x],
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+    )
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_concat(em, op):
+    inputs, (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grads = [em.new_grad(tensor) for tensor in inputs]
+    em.graph.add_op(
+        f"{op.name}.bwd", "concat_bwd", [grad_out], grads,
+        phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+    )
+    for tensor, grad in zip(inputs, grads):
+        em.contribute(tensor, grad, op)
+
+
+def _bwd_generic_unary(em, op):
+    (x,), (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd", f"{op.op_type}_bwd", [grad_out, out], [grad_x],
+        phase="backward", forward_of=op.id,
+    )
+    em.contribute(x, grad_x, op)
+
+
+# ----------------------------------------------------------------------
+# Roofline characterization (consumed by CostModel)
+# ----------------------------------------------------------------------
+def _tensor_bytes(graph: Graph, tensor_ids) -> int:
+    return sum(graph.tensor(t).nbytes for t in tensor_ids)
+
+
+def _io_bytes(graph: Graph, op: OpNode) -> int:
+    return _tensor_bytes(graph, op.inputs) + _tensor_bytes(graph, op.outputs)
+
+
+def _conv_shapes(graph: Graph, op: OpNode):
+    if op.op_type == "conv2d":
+        out = graph.tensor(op.outputs[0])
+        n, k, ho, wo = out.shape
+    else:
+        # backward ops: output spatial is the forward output's spatial, which
+        # for bwd_data is the *input* grad shape's counterpart; use the
+        # gradient tensor (same shape as forward output).
+        grad_out = graph.tensor(op.inputs[0])
+        n, k, ho, wo = grad_out.shape
+    c = op.attrs["in_channels"]
+    kh, kw = op.attrs["kernel"]
+    return n, c, k, kh, kw, ho, wo
+
+
+def _char_conv(graph: Graph, op: OpNode):
+    n, c, k, kh, kw, ho, wo = _conv_shapes(graph, op)
+    flops = 2.0 * n * k * c * kh * kw * ho * wo
+    return flops, _io_bytes(graph, op)
+
+
+def _char_linear(graph: Graph, op: OpNode):
+    in_features = op.attrs["in_features"]
+    out_features = op.attrs["out_features"]
+    batch = graph.tensor(op.inputs[0]).shape[0]
+    flops = 2.0 * batch * in_features * out_features
+    return flops, _io_bytes(graph, op)
+
+
+def _char_batchnorm(graph: Graph, op: OpNode):
+    size = graph.tensor(op.outputs[0]).nbytes
+    # Fused training BN: one read pass (statistics fused with normalize via
+    # a second streaming pass is hidden), one write.
+    passes = 2.0
+    flops = 5.0 * graph.tensor(op.outputs[0]).num_elements
+    return flops, passes * size
+
+
+def _char_batchnorm_bwd(graph: Graph, op: OpNode):
+    size = graph.tensor(op.outputs[0]).nbytes
+    passes = 3.0
+    if op.attrs.get("recompute"):
+        passes += 2.0  # re-materialize the normalized input from the output
+    flops = 8.0 * graph.tensor(op.outputs[0]).num_elements
+    return flops, passes * size
+
+
+def _char_elementwise(passes: float, flops_per_element: float = 1.0):
+    def rule(graph: Graph, op: OpNode):
+        size_bytes = graph.tensor(op.outputs[0]).nbytes
+        elements = graph.tensor(op.outputs[0]).num_elements
+        return flops_per_element * elements, passes * size_bytes
+    return rule
+
+
+def _char_pool(graph: Graph, op: OpNode):
+    out = graph.tensor(op.outputs[0])
+    kh, kw = op.attrs["kernel"]
+    flops = float(out.num_elements * kh * kw)
+    bytes_moved = graph.tensor(op.inputs[0]).nbytes + out.nbytes
+    return flops, bytes_moved
+
+
+def _char_pool_bwd(graph: Graph, op: OpNode):
+    grad_in = graph.tensor(op.outputs[0])
+    return float(grad_in.num_elements), _io_bytes(graph, op)
+
+
+def _char_copy(graph: Graph, op: OpNode):
+    moved = _tensor_bytes(graph, op.outputs) * 2.0  # read + write
+    return 0.0, moved
+
+
+def _char_small(graph: Graph, op: OpNode):
+    return 0.0, float(_io_bytes(graph, op))
+
+
+def _char_free(graph: Graph, op: OpNode):
+    return 0.0, 0.0
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+REGISTRY: Dict[str, OpDef] = {}
+
+
+def _register(opdef: OpDef) -> None:
+    if opdef.op_type in REGISTRY:
+        raise ValueError(f"duplicate op definition for {opdef.op_type!r}")
+    REGISTRY[opdef.op_type] = opdef
+
+
+def op_def(op_type: str) -> OpDef:
+    """The registered definition for ``op_type``; loud failure if missing."""
+    try:
+        return REGISTRY[op_type]
+    except KeyError:
+        raise NotImplementedError(
+            f"no registered op definition for op type {op_type!r}"
+        ) from None
+
+
+def has_op(op_type: str) -> bool:
+    return op_type in REGISTRY
+
+
+def infer_op_shapes(op_type: str, input_shapes: Sequence[Shape],
+                    attrs: Dict[str, Any]) -> List[Shape]:
+    """Symbolic output shapes of ``op_type`` for the given inputs/attrs."""
+    definition = op_def(op_type)
+    if definition.infer_shapes is None:
+        raise NotImplementedError(
+            f"op type {op_type!r} has no symbolic shape inference"
+        )
+    return [tuple(int(s) for s in shape)
+            for shape in definition.infer_shapes(input_shapes, attrs)]
+
+
+# Forward op types ------------------------------------------------------
+_register(OpDef(
+    "conv2d", kernel=_k_conv2d, characterize=_char_conv,
+    infer_shapes=_shape_conv2d, backward=_bwd_conv2d, efficiency=EFF_CONV,
+    saved=(("input", 0),),
+))
+_register(OpDef(
+    "linear", kernel=_k_linear, characterize=_char_linear,
+    infer_shapes=_shape_linear, backward=_bwd_linear, efficiency=EFF_GEMM,
+    saved=(("input", 0),),
+))
+_register(OpDef(
+    "batchnorm", kernel=_k_batchnorm, characterize=_char_batchnorm,
+    infer_shapes=_shape_same, backward=_bwd_batchnorm,
+    saved=(("input", 0),),
+))
+_register(OpDef(
+    "relu", kernel=_k_relu, characterize=_char_elementwise(2.0),
+    infer_shapes=_shape_same, backward=_bwd_relu,
+    inplace=True, saved=(("output", 0),),
+))
+_register(OpDef(
+    "sigmoid", kernel=_k_sigmoid, characterize=_char_elementwise(2.0, 4.0),
+    infer_shapes=_shape_same, backward=_bwd_generic_unary,
+    saved=(("output", 0),),
+))
+_register(OpDef(
+    "tanh", kernel=_k_tanh, characterize=_char_elementwise(2.0, 4.0),
+    infer_shapes=_shape_same, backward=_bwd_generic_unary,
+    saved=(("output", 0),),
+))
+_register(OpDef(
+    "maxpool2d", kernel=_k_maxpool2d, characterize=_char_pool,
+    infer_shapes=_shape_pool, backward=_bwd_maxpool2d,
+    saved=(("input", 0),),
+))
+_register(OpDef(
+    "avgpool2d", kernel=_k_avgpool2d, characterize=_char_pool,
+    infer_shapes=_shape_pool, backward=_bwd_avgpool2d,
+))
+_register(OpDef(
+    "gap", kernel=_k_gap, characterize=_char_small,
+    infer_shapes=_shape_gap, backward=_bwd_gap,
+))
+_register(OpDef(
+    "flatten", kernel=_k_flatten, characterize=_char_free,
+    infer_shapes=_shape_flatten, backward=_bwd_flatten,
+    free=True, sharing=SHARE_ALIAS, inplace=True,
+))
+_register(OpDef(
+    "add", kernel=_k_add, characterize=_char_elementwise(3.0),
+    infer_shapes=_shape_same, backward=_bwd_add,
+))
+_register(OpDef(
+    "dropout", kernel=_k_dropout, characterize=_char_elementwise(2.0),
+    infer_shapes=_shape_dropout, backward=_bwd_dropout,
+    inplace=True, saved=(("output", 1),),
+))
+_register(OpDef(
+    "split", kernel=_k_split, characterize=_char_copy,
+    infer_shapes=_shape_split, backward=_bwd_split,
+))
+_register(OpDef(
+    "concat", kernel=_k_concat, characterize=_char_copy,
+    infer_shapes=_shape_concat, backward=_bwd_concat,
+))
+_register(OpDef(
+    "cross_entropy", kernel=_k_cross_entropy, characterize=_char_small,
+    infer_shapes=_shape_cross_entropy, backward=_bwd_cross_entropy,
+    saved=(("output", 1),),
+))
+
+# Backward op types -----------------------------------------------------
+_register(OpDef(
+    "conv2d_bwd_data", kernel=_k_conv2d_bwd_data, characterize=_char_conv,
+    efficiency=EFF_CONV,
+))
+_register(OpDef(
+    "conv2d_bwd_weight", kernel=_k_conv2d_bwd_weight, characterize=_char_conv,
+    efficiency=EFF_CONV,
+))
+_register(OpDef(
+    "linear_bwd_data", kernel=_k_linear_bwd_data, characterize=_char_linear,
+    efficiency=EFF_GEMM,
+))
+_register(OpDef(
+    "linear_bwd_weight", kernel=_k_linear_bwd_weight,
+    characterize=_char_linear, efficiency=EFF_GEMM,
+))
+_register(OpDef(
+    "batchnorm_bwd", kernel=_k_batchnorm_bwd, characterize=_char_batchnorm_bwd,
+))
+_register(OpDef(
+    "relu_bwd", kernel=_k_relu_bwd, characterize=_char_elementwise(3.0),
+    inplace=True,
+))
+_register(OpDef(
+    "sigmoid_bwd", kernel=_k_sigmoid_bwd,
+    characterize=_char_elementwise(3.0, 3.0),
+))
+_register(OpDef(
+    "tanh_bwd", kernel=_k_tanh_bwd, characterize=_char_elementwise(3.0, 3.0),
+))
+_register(OpDef(
+    "maxpool2d_bwd", kernel=_k_pool_bwd, characterize=_char_pool_bwd,
+))
+_register(OpDef(
+    "avgpool2d_bwd", kernel=_k_pool_bwd, characterize=_char_pool_bwd,
+))
+_register(OpDef(
+    "gap_bwd", kernel=_k_gap_bwd, characterize=_char_small,
+))
+_register(OpDef(
+    "flatten_bwd", kernel=_k_flatten, characterize=_char_free,
+    free=True, sharing=SHARE_ALIAS, inplace=True,
+))
+_register(OpDef(
+    "add_bwd", kernel=_k_add_bwd, characterize=_char_free,
+    free=True, sharing=SHARE_SUMMATION, inplace=True,
+))
+_register(OpDef(
+    "grad_acc", kernel=_k_grad_acc, characterize=_char_elementwise(3.0),
+))
+_register(OpDef(
+    "dropout_bwd", kernel=_k_dropout_bwd, characterize=_char_elementwise(3.0),
+    inplace=True,
+))
+_register(OpDef(
+    "split_bwd", kernel=_k_split_bwd, characterize=_char_copy,
+))
+_register(OpDef(
+    "concat_bwd", kernel=_k_concat_bwd, characterize=_char_copy,
+))
+_register(OpDef(
+    "cross_entropy_bwd", kernel=_k_cross_entropy_bwd, characterize=_char_small,
+))

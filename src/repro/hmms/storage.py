@@ -23,7 +23,10 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..graph.ir import Graph, TensorValue
-from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, TSO
+from ..graph.registry import op_def
+from .tso import (
+    POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, SHARE_ALIAS, SHARE_SUMMATION, TSO,
+)
 
 __all__ = ["StorageAssignment", "assign_storage"]
 
@@ -87,17 +90,19 @@ def assign_storage(
             new_tso(tensor, pool)
 
     for op in graph.ops:
+        sharing = op_def(op.op_type).sharing
         for output_id in op.outputs:
             tensor = graph.tensor(output_id)
             if tensor.kind == "gradient":        # parameter gradient
                 new_tso(tensor, POOL_DEVICE_PARAM)
                 continue
 
-            # Summation error sharing: every output of add_bwd aliases the
-            # incoming error term.  With the optimization disabled the
-            # error terms are materialized as real copies (each in its own
-            # TSO) — the in-place path below must not pick them up either.
-            if op.op_type == "add_bwd" and op.attrs.get("shared_value"):
+            # Summation error sharing: every output of a summation's
+            # backward aliases the incoming error term.  With the
+            # optimization disabled the error terms are materialized as
+            # real copies (each in its own TSO) — the in-place path below
+            # must not pick them up either.
+            if sharing == SHARE_SUMMATION and op.attrs.get("shared_value"):
                 if share_summation:
                     share(tensor, op.inputs[0])
                     assignment.summation_shares_applied += 1
@@ -106,7 +111,7 @@ def assign_storage(
                 continue
 
             # View ops always alias (flatten and friends).
-            if share_views and op.op_type in ("flatten", "flatten_bwd"):
+            if share_views and sharing == SHARE_ALIAS:
                 share(tensor, op.inputs[0])
                 assignment.view_shares_applied += 1
                 continue

@@ -4,6 +4,11 @@ A TSO is a contiguous region of storage used by one or more tensors.
 Separating the conceptual tensor from its physical storage is what enables
 the in-place-ReLU and summation-sharing optimizations of §4.2: several
 tensors may map onto one TSO when conditions allow.
+
+Which ops are *eligible* for each sharing optimization is declared on
+their :class:`~repro.graph.registry.OpDef` (the ``sharing`` and
+``inplace`` fields); the class constants are re-exported here for the
+storage-assignment pass and external callers.
 """
 
 from __future__ import annotations
@@ -11,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["TSO", "POOL_DEVICE_GENERAL", "POOL_DEVICE_PARAM", "POOL_HOST"]
+from ..graph.registry import SHARE_ALIAS, SHARE_NONE, SHARE_SUMMATION
+
+__all__ = [
+    "TSO", "POOL_DEVICE_GENERAL", "POOL_DEVICE_PARAM", "POOL_HOST",
+    "SHARE_NONE", "SHARE_ALIAS", "SHARE_SUMMATION",
+]
 
 POOL_DEVICE_GENERAL = "device_general"
 POOL_DEVICE_PARAM = "device_param"

@@ -10,6 +10,10 @@ P100.  With no GPU available, we substitute a roofline estimate:
 Memory-bound layers (pooling, batch-norm, elementwise) land on the
 bandwidth roof, which is precisely the property driving the paper's
 Figure 1: they run too fast to hide any host-device transfer behind.
+
+The per-op (flops, bytes) rules and the efficiency class each op belongs
+to live on its :class:`~repro.graph.registry.OpDef`; this module only
+resolves the class against a :class:`DeviceSpec`.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..graph.ir import Graph, OpNode
+from ..graph.registry import EFF_CONV, EFF_GEMM, op_def
 from .device import DeviceSpec, P100_NVLINK
 
 __all__ = ["OpCost", "CostModel"]
@@ -30,10 +35,6 @@ class OpCost:
     flops: float
     bytes_moved: float
     seconds: float
-
-
-def _tensor_bytes(graph: Graph, tensor_ids) -> int:
-    return sum(graph.tensor(t).nbytes for t in tensor_ids)
 
 
 class CostModel:
@@ -61,161 +62,30 @@ class CostModel:
         compute_time = flops / (device.peak_flops * efficiency) if flops else 0.0
         memory_time = bytes_moved / (device.mem_bandwidth * device.mem_efficiency)
         seconds = device.kernel_overhead + max(compute_time, memory_time)
-        if op.op_type in _FREE_OPS:
+        if op_def(op.op_type).free:
             seconds = 0.0
         return OpCost(flops=flops, bytes_moved=bytes_moved, seconds=seconds)
 
     # ------------------------------------------------------------------
-    def _characterize(self, graph: Graph, op: OpNode) -> Tuple[float, float, float]:
-        """Return (flops, bytes_moved, compute_efficiency) for ``op``."""
-        handler = _CHARACTERIZERS.get(op.op_type)
-        if handler is None:
-            raise NotImplementedError(f"no cost rule for op type {op.op_type!r}")
-        flops, bytes_moved = handler(graph, op)
-        if op.op_type.startswith("conv2d"):
+    def _efficiency(self, op: OpNode) -> float:
+        """Fraction of peak FLOPs the op's efficiency class reaches."""
+        definition = op_def(op.op_type)
+        if definition.efficiency == EFF_CONV:
             kh, kw = op.attrs["kernel"]
             sh, sw = op.attrs["stride"]
             if (kh, kw) == (1, 1):
                 # 1x1 convolutions are plain GEMMs.
-                efficiency = self.device.gemm_efficiency
-            elif (kh, kw) == (3, 3) and (sh, sw) == (1, 1):
+                return self.device.gemm_efficiency
+            if (kh, kw) == (3, 3) and (sh, sw) == (1, 1):
                 # Winograd-eligible: cuDNN's fast algorithm trades memory
                 # for speed (§2.2.1), raising effective FLOP throughput.
-                efficiency = self.device.conv_efficiency * self.device.winograd_gain
-            else:
-                efficiency = self.device.conv_efficiency
-        elif op.op_type.startswith("linear"):
-            efficiency = self.device.gemm_efficiency
-        else:
-            efficiency = self.device.mem_efficiency
-        return flops, bytes_moved, efficiency
+                return self.device.conv_efficiency * self.device.winograd_gain
+            return self.device.conv_efficiency
+        if definition.efficiency == EFF_GEMM:
+            return self.device.gemm_efficiency
+        return self.device.mem_efficiency
 
-
-# ----------------------------------------------------------------------
-# Per-op-type (flops, bytes) rules
-# ----------------------------------------------------------------------
-def _io_bytes(graph: Graph, op: OpNode) -> int:
-    return _tensor_bytes(graph, op.inputs) + _tensor_bytes(graph, op.outputs)
-
-
-def _conv_shapes(graph: Graph, op: OpNode):
-    grad_or_x = graph.tensor(op.inputs[0])
-    if op.op_type == "conv2d":
-        out = graph.tensor(op.outputs[0])
-        n, k, ho, wo = out.shape
-        c = op.attrs["in_channels"]
-    else:
-        # backward ops: output spatial is the forward output's spatial, which
-        # for bwd_data is the *input* grad shape's counterpart; use the
-        # gradient tensor (same shape as forward output).
-        grad_out = graph.tensor(op.inputs[0])
-        n, k, ho, wo = grad_out.shape
-        c = op.attrs["in_channels"]
-    kh, kw = op.attrs["kernel"]
-    return n, c, k, kh, kw, ho, wo
-
-
-def _char_conv(graph: Graph, op: OpNode):
-    n, c, k, kh, kw, ho, wo = _conv_shapes(graph, op)
-    flops = 2.0 * n * k * c * kh * kw * ho * wo
-    return flops, _io_bytes(graph, op)
-
-
-def _char_linear(graph: Graph, op: OpNode):
-    in_features = op.attrs["in_features"]
-    out_features = op.attrs["out_features"]
-    batch = graph.tensor(op.inputs[0]).shape[0]
-    flops = 2.0 * batch * in_features * out_features
-    return flops, _io_bytes(graph, op)
-
-
-def _char_batchnorm(graph: Graph, op: OpNode):
-    size = graph.tensor(op.outputs[0]).nbytes
-    # Fused training BN: one read pass (statistics fused with normalize via
-    # a second streaming pass is hidden), one write.
-    passes = 2.0
-    flops = 5.0 * graph.tensor(op.outputs[0]).num_elements
-    return flops, passes * size
-
-
-def _char_batchnorm_bwd(graph: Graph, op: OpNode):
-    size = graph.tensor(op.outputs[0]).nbytes
-    passes = 3.0
-    if op.attrs.get("recompute"):
-        passes += 2.0  # re-materialize the normalized input from the output
-    flops = 8.0 * graph.tensor(op.outputs[0]).num_elements
-    return flops, passes * size
-
-
-def _char_elementwise(passes: float, flops_per_element: float = 1.0):
-    def rule(graph: Graph, op: OpNode):
-        size_bytes = graph.tensor(op.outputs[0]).nbytes
-        elements = graph.tensor(op.outputs[0]).num_elements
-        return flops_per_element * elements, passes * size_bytes
-    return rule
-
-
-def _char_pool(graph: Graph, op: OpNode):
-    out = graph.tensor(op.outputs[0])
-    kh, kw = op.attrs["kernel"]
-    flops = float(out.num_elements * kh * kw)
-    bytes_moved = graph.tensor(op.inputs[0]).nbytes + out.nbytes
-    return flops, bytes_moved
-
-
-def _char_pool_bwd(graph: Graph, op: OpNode):
-    grad_in = graph.tensor(op.outputs[0])
-    bytes_moved = _io_bytes(graph, op)
-    return float(grad_in.num_elements), bytes_moved
-
-
-def _char_copy(graph: Graph, op: OpNode):
-    moved = _tensor_bytes(graph, op.outputs) * 2.0  # read + write
-    return 0.0, moved
-
-
-def _char_small(graph: Graph, op: OpNode):
-    return 0.0, float(_io_bytes(graph, op))
-
-
-def _char_free(graph: Graph, op: OpNode):
-    return 0.0, 0.0
-
-
-_FREE_OPS = {"flatten", "flatten_bwd", "add_bwd"}
-
-_CHARACTERIZERS = {
-    "conv2d": _char_conv,
-    "conv2d_bwd_data": _char_conv,
-    "conv2d_bwd_weight": _char_conv,
-    "linear": _char_linear,
-    "linear_bwd_data": _char_linear,
-    "linear_bwd_weight": _char_linear,
-    "batchnorm": _char_batchnorm,
-    "batchnorm_bwd": _char_batchnorm_bwd,
-    "relu": _char_elementwise(2.0),
-    "relu_bwd": _char_elementwise(3.0),
-    "sigmoid": _char_elementwise(2.0, 4.0),
-    "sigmoid_bwd": _char_elementwise(3.0, 3.0),
-    "tanh": _char_elementwise(2.0, 4.0),
-    "tanh_bwd": _char_elementwise(3.0, 3.0),
-    "add": _char_elementwise(3.0),
-    "grad_acc": _char_elementwise(3.0),
-    "dropout": _char_elementwise(2.0),
-    "dropout_bwd": _char_elementwise(3.0),
-    "maxpool2d": _char_pool,
-    "avgpool2d": _char_pool,
-    "maxpool2d_bwd": _char_pool_bwd,
-    "avgpool2d_bwd": _char_pool_bwd,
-    "gap": _char_small,
-    "gap_bwd": _char_small,
-    "split": _char_copy,
-    "split_bwd": _char_copy,
-    "concat": _char_copy,
-    "concat_bwd": _char_copy,
-    "cross_entropy": _char_small,
-    "cross_entropy_bwd": _char_small,
-    "flatten": _char_free,
-    "flatten_bwd": _char_free,
-    "add_bwd": _char_free,
-}
+    def _characterize(self, graph: Graph, op: OpNode) -> Tuple[float, float, float]:
+        """Return (flops, bytes_moved, compute_efficiency) for ``op``."""
+        flops, bytes_moved = op_def(op.op_type).characterize(graph, op)
+        return flops, bytes_moved, self._efficiency(op)

@@ -65,7 +65,7 @@ class MeasuredCostModel(CostModel):
                             if t.kind == "input")
         executor.values[input_tensor.id] = np.asarray(input_array,
                                                       dtype=np.float64)
-        executor._targets = targets
+        executor.targets = targets
         for op in graph.ops:
             # Execute once to materialize outputs (and warm caches), then
             # time `repetitions` re-executions, exactly as §4.3 describes.

@@ -138,16 +138,17 @@ class Conv2d(Function):
         self.has_bias = bias is not None
         return out
 
-    def backward(self, grad_output: np.ndarray):
+    def backward_weight(self, grad_output: np.ndarray) -> np.ndarray:
+        kh, kw = self.weight.shape[2], self.weight.shape[3]
+        view = _window_view(self.xp, (kh, kw), self.stride)
+        # grad wrt weight: contract grad (N,O,Ho,Wo) with view over N,Ho,Wo.
+        return np.tensordot(grad_output, view, axes=([0, 2, 3], [0, 2, 3]))
+
+    def backward_input(self, grad_output: np.ndarray) -> np.ndarray:
         weight = self.weight
         kh, kw = weight.shape[2], weight.shape[3]
         sh, sw = self.stride
         n, o, ho, wo = grad_output.shape
-
-        view = _window_view(self.xp, (kh, kw), self.stride)
-        # grad wrt weight: contract grad (N,O,Ho,Wo) with view over N,Ho,Wo.
-        grad_weight = np.tensordot(grad_output, view, axes=([0, 2, 3], [0, 2, 3]))
-        grad_bias = grad_output.sum(axis=(0, 2, 3)) if self.has_bias else None
 
         # grad wrt input: scatter per kernel offset (col2im).
         grad_padded = np.zeros_like(self.xp)
@@ -157,7 +158,12 @@ class Conv2d(Function):
         for i in range(kh):
             for j in range(kw):
                 grad_padded[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw] += grad_cols[:, :, i, j]
-        grad_input = _unpad_spatial_grad(grad_padded, self.in_shape, self.padding)
+        return _unpad_spatial_grad(grad_padded, self.in_shape, self.padding)
+
+    def backward(self, grad_output: np.ndarray):
+        grad_weight = self.backward_weight(grad_output)
+        grad_bias = grad_output.sum(axis=(0, 2, 3)) if self.has_bias else None
+        grad_input = self.backward_input(grad_output)
         return (grad_input, grad_weight, grad_bias, None, None)
 
 

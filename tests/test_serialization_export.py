@@ -141,5 +141,5 @@ class TestStats:
         assert stats.widest_tensor_bytes == largest.nbytes
 
     def test_memory_bound_types_are_known_ops(self):
-        from repro.profile.cost import _CHARACTERIZERS
-        assert MEMORY_BOUND_TYPES <= set(_CHARACTERIZERS)
+        from repro.graph.registry import REGISTRY
+        assert MEMORY_BOUND_TYPES <= set(REGISTRY)
