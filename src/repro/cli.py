@@ -10,6 +10,7 @@ is reproducible from a shell:
     python -m repro fig11                # distributed speedup projection
     python -m repro accuracy depth       # Figure 4 sweep (add --quick)
     python -m repro plan vgg19 -b 64     # plan + simulate one model
+    python -m repro verify-plan vgg19    # static plan verification
     python -m repro info resnet50 -b 64  # graph statistics
 """
 
@@ -62,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--split-depth", type=float, default=0.0)
     plan.add_argument("--splits", type=int, default=4,
                       help="total patches (1,2,3,4,6,9)")
+
+    verify = sub.add_parser(
+        "verify-plan",
+        help="statically verify a memory plan (five invariant families)")
+    verify.add_argument("model")
+    verify.add_argument("-b", "--batch", type=int, default=64)
+    verify.add_argument("--scheduler", default="hmms",
+                        choices=["none", "layerwise", "hmms"])
+    verify.add_argument("--split-depth", type=float, default=0.0)
+    verify.add_argument("--splits", type=int, default=4,
+                        help="total patches (1,2,3,4,6,9)")
+    verify.add_argument("--grouped-sync", action="store_true",
+                        help="paper-literal Algorithm 1 grouped sync mode")
+    verify.add_argument("--capacity-gib", type=float, default=None,
+                        help="device pool capacity the plan must fit (GiB)")
+    verify.add_argument("--strict-stalls", action="store_true",
+                        help="treat zero-stall violations as errors")
 
     info = sub.add_parser("info", help="graph statistics for a model")
     info.add_argument("model")
@@ -199,6 +217,25 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_verify_plan(args) -> int:
+    from .graph import build_training_graph
+    from .hmms import HMMSPlanner, verify_plan
+
+    model = _build_named_model(args.model, args.split_depth, args.splits)
+    graph = build_training_graph(model, args.batch)
+    planner = HMMSPlanner(scheduler=args.scheduler,
+                          grouped_sync=args.grouped_sync)
+    plan = planner.plan(graph)
+    capacity = int(args.capacity_gib * (1 << 30)) \
+        if args.capacity_gib is not None else None
+    report = verify_plan(plan, device=planner.device,
+                         cost_model=planner.cost_model,
+                         capacity=capacity,
+                         strict_stalls=args.strict_stalls)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_info(args) -> int:
     from .graph import build_training_graph
     from .graph.export import graph_stats
@@ -246,6 +283,7 @@ _COMMANDS = {
     "fig11": _cmd_fig11,
     "accuracy": _cmd_accuracy,
     "plan": _cmd_plan,
+    "verify-plan": _cmd_verify_plan,
     "info": _cmd_info,
     "export": _cmd_export,
 }

@@ -55,8 +55,10 @@ def sample_split(
         high = min(high, total - (parts - i))
         if high < low:
             # Interval collapsed by clamping: fall back to the tightest
-            # feasible boundary.
-            value = low
+            # feasible boundary.  The fallback itself must respect both
+            # clamps — ``low`` alone can sit past ``total - (parts - i)``,
+            # leaving no room for the remaining boundaries.
+            value = max(boundaries[-1] + 1, min(low, total - (parts - i)))
         else:
             value = int(gen.integers(low, high + 1))
         boundaries.append(value)

@@ -9,6 +9,10 @@ from .planner import SCHEDULERS, HMMSPlanner, MemoryPlan, OpSchedule
 from .pools import BumpPool, FirstFitPool, PoolError
 from .storage import StorageAssignment, assign_storage
 from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, POOL_HOST, TSO
+from .verify import (
+    INVARIANT_FAMILIES, PlanVerificationError, VerificationReport, Violation,
+    verify_plan,
+)
 
 __all__ = [
     "TSO", "POOL_DEVICE_GENERAL", "POOL_DEVICE_PARAM", "POOL_HOST",
@@ -17,4 +21,6 @@ __all__ = [
     "OffloadPlan", "TransferPlan", "plan_offload", "plan_prefetch",
     "select_offload_candidates", "plan_layerwise",
     "HMMSPlanner", "MemoryPlan", "OpSchedule", "SCHEDULERS",
+    "INVARIANT_FAMILIES", "PlanVerificationError", "VerificationReport",
+    "Violation", "verify_plan",
 ]

@@ -94,6 +94,13 @@ class HMMSPlanner:
         op workspace (cuDNN-style reuse) instead of allocating/freeing the
         workspace around every op; avoids allocator fragmentation from the
         large transient blocks.
+    grouped_sync: follow Algorithm 1 literally (all pending transfers
+        synchronize together at the first non-negative capacity balance)
+        instead of the default per-transfer FIFO refinement.
+    verify: run the independent static verifier
+        (:func:`repro.hmms.verify.verify_plan`) on every plan before
+        returning it; raises
+        :class:`~repro.hmms.verify.PlanVerificationError` on violations.
     """
 
     def __init__(
@@ -107,6 +114,8 @@ class HMMSPlanner:
         cost_model: Optional[CostModel] = None,
         layerwise_conv_only: bool = False,
         workspace_arena: bool = True,
+        grouped_sync: bool = False,
+        verify: bool = False,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}")
@@ -118,6 +127,8 @@ class HMMSPlanner:
         self.first_fit = first_fit
         self.layerwise_conv_only = layerwise_conv_only
         self.workspace_arena = workspace_arena
+        self.grouped_sync = grouped_sync
+        self.verify = verify
         self.cost_model = cost_model if cost_model is not None else CostModel(device)
 
     # ------------------------------------------------------------------
@@ -136,7 +147,7 @@ class HMMSPlanner:
         param_bytes = assignment.total_bytes(POOL_DEVICE_PARAM)
         host_bytes = sum(t.size for t in offload_plan.transfers.values())
         host_peak = self._simulate_host_pool(offload_plan)
-        return MemoryPlan(
+        plan = MemoryPlan(
             graph=graph, assignment=assignment, offload_plan=offload_plan,
             schedule=schedule, scheduler=self.scheduler,
             device_general_peak=general_peak,
@@ -145,6 +156,11 @@ class HMMSPlanner:
             host_pool_peak=host_peak,
             offload_fraction_used=fraction,
         )
+        if self.verify:
+            from .verify import verify_plan
+            verify_plan(plan, device=self.device,
+                        cost_model=self.cost_model).raise_if_failed()
+        return plan
 
     # ------------------------------------------------------------------
     def _resolve_fraction(self, graph: Graph) -> float:
@@ -164,9 +180,11 @@ class HMMSPlanner:
             return plan_layerwise(graph, assignment, lifetimes, fraction,
                                   conv_only=self.layerwise_conv_only)
         plan = plan_offload(graph, assignment, lifetimes, self.cost_model,
-                            self.device, fraction)
+                            self.device, fraction,
+                            grouped_sync=self.grouped_sync)
         return plan_prefetch(graph, assignment, lifetimes, self.cost_model,
-                             self.device, plan)
+                             self.device, plan,
+                             grouped_sync=self.grouped_sync)
 
     # ------------------------------------------------------------------
     def _build_schedule(self, graph: Graph, assignment: StorageAssignment,

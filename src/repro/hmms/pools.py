@@ -32,8 +32,11 @@ class FirstFitPool:
     def __init__(self, capacity: Optional[int] = None, name: str = "pool") -> None:
         self.capacity = capacity
         self.name = name
-        # Sorted list of allocated (offset, size, tag).
+        # Sorted list of allocated (offset, size, tag), with a parallel
+        # sorted offsets list so alloc/free can bisect instead of
+        # rebuilding a key list (alloc) or scanning linearly (free).
         self._blocks: List[Tuple[int, int, object]] = []
+        self._offsets: List[int] = []
         self._by_tag: Dict[object, Tuple[int, int]] = {}
         self.peak = 0
         self.allocated = 0
@@ -51,9 +54,9 @@ class FirstFitPool:
                 f"{self.name}: allocation of {size} bytes does not fit "
                 f"(capacity {self.capacity}, high water {self.high_water()})"
             )
-        entry = (offset, size, tag)
-        index = bisect.bisect_left([b[0] for b in self._blocks], offset)
-        self._blocks.insert(index, entry)
+        index = bisect.bisect_left(self._offsets, offset)
+        self._blocks.insert(index, (offset, size, tag))
+        self._offsets.insert(index, offset)
         self._by_tag[tag] = (offset, size)
         self.allocated += size
         self.peak = max(self.peak, self.high_water())
@@ -64,11 +67,16 @@ class FirstFitPool:
         if entry is None:
             raise PoolError(f"tag {tag!r} not allocated in {self.name}")
         offset, size = entry
-        for index, (block_offset, block_size, block_tag) in enumerate(self._blocks):
-            if block_offset == offset and block_tag == tag:
+        # Live blocks are disjoint so offsets are unique — except for
+        # zero-size blocks, which may stack at one offset; walk the run.
+        index = bisect.bisect_left(self._offsets, offset)
+        while index < len(self._blocks) and self._blocks[index][0] == offset:
+            if self._blocks[index][2] == tag:
                 del self._blocks[index]
+                del self._offsets[index]
                 self.allocated -= size
                 return
+            index += 1
         raise PoolError(f"internal inconsistency freeing {tag!r}")
 
     # ------------------------------------------------------------------
@@ -92,6 +100,7 @@ class FirstFitPool:
 
     def reset(self) -> None:
         self._blocks.clear()
+        self._offsets.clear()
         self._by_tag.clear()
         self.peak = 0
         self.allocated = 0

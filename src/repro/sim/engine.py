@@ -75,7 +75,7 @@ class SimResult:
 class GPUSimulator:
     """Replays memory plans and enforces their safety invariants."""
 
-    RESIDENT, OFFLOADING, ON_HOST, PREFETCHING = range(4)
+    RESIDENT, OFFLOADING, ON_HOST, PREFETCHING, FREED = range(5)
 
     def __init__(
         self,
@@ -83,14 +83,24 @@ class GPUSimulator:
         cost_model: Optional[CostModel] = None,
         check_capacity: bool = False,
         record_events: bool = True,
+        verify: bool = False,
     ) -> None:
         self.device = device
         self.cost_model = cost_model if cost_model is not None else CostModel(device)
         self.check_capacity = check_capacity
         self.record_events = record_events
+        self.verify = verify
 
     # ------------------------------------------------------------------
     def run(self, plan: MemoryPlan) -> SimResult:
+        if self.verify:
+            # Strict pre-check: the static verifier is an independent
+            # implementation of the schedule semantics, so it catches
+            # planner bugs this replay has blind spots for (and vice
+            # versa).  Raises PlanVerificationError before any replay.
+            from ..hmms.verify import verify_plan
+            verify_plan(plan, device=self.device,
+                        cost_model=self.cost_model).raise_if_failed()
         graph = plan.graph
         device = self.device
         num_streams = device.num_memory_streams
@@ -128,11 +138,10 @@ class GPUSimulator:
             emit(f"mem{stream_index}", kind, f"{kind}:tso{tso_id}", start, end)
             return end
 
-        def allocate(tso_id: int) -> None:
+        def charge(nbytes: int) -> None:
             nonlocal live_bytes, peak_live
-            live_bytes += sizes[tso_id]
+            live_bytes += nbytes
             peak_live = max(peak_live, live_bytes)
-            tso_state[tso_id] = self.RESIDENT
             if self.check_capacity and live_bytes + plan.device_param_bytes \
                     > device.memory_capacity:
                 raise SimulationError(
@@ -140,8 +149,14 @@ class GPUSimulator:
                     f"> {device.memory_capacity}"
                 )
 
+        def allocate(tso_id: int) -> None:
+            charge(sizes[tso_id])
+            tso_state[tso_id] = self.RESIDENT
+
         def release(tso_id: int) -> None:
             nonlocal live_bytes
+            if tso_state.get(tso_id) == self.FREED:
+                raise SimulationError(f"TSO {tso_id} freed twice")
             live_bytes -= sizes[tso_id]
 
         clock = 0.0
@@ -181,10 +196,11 @@ class GPUSimulator:
             # Safety: every input TSO must be resident on the device.
             self._check_residency(plan, op, tso_state)
 
-            # Transient workspace.
+            # Transient workspace counts against capacity like any
+            # allocation — a plan whose workspace pushes it past the
+            # device limit is just as infeasible as one whose TSOs do.
             if entry.workspace_bytes:
-                live_bytes += entry.workspace_bytes
-                peak_live = max(peak_live, live_bytes)
+                charge(entry.workspace_bytes)
 
             duration = self.cost_model.cost(graph, op).seconds
             emit("compute", "op", op.name, clock, clock + duration)
@@ -205,7 +221,10 @@ class GPUSimulator:
 
             for tso_id in entry.frees_after:
                 release(tso_id)
-                tso_state.pop(tso_id, None)
+                # Keep the TSO in the state map as FREED (never pop it):
+                # a later read must surface as use-after-free, not fall
+                # back to the RESIDENT default.
+                tso_state[tso_id] = self.FREED
 
         compute_time = self.cost_model.total_time(graph)
         return SimResult(
@@ -225,6 +244,12 @@ class GPUSimulator:
             if tso.pool != POOL_DEVICE_GENERAL:
                 continue
             state = tso_state.get(tso.id, self.RESIDENT)
+            if state == self.FREED:
+                raise SimulationError(
+                    f"op {op.name!r} reads TSO {tso.id} "
+                    f"(tensor {plan.graph.tensor(tensor_id).name!r}) which "
+                    "was already freed (use-after-free)"
+                )
             if state in (self.ON_HOST, self.PREFETCHING):
                 raise SimulationError(
                     f"op {op.name!r} reads TSO {tso.id} "

@@ -2,10 +2,14 @@
 
 Generates random CNN architectures, optionally split-transforms them, and
 pushes them through graph construction -> HMMS planning -> simulation.
-The simulator's safety checker is the oracle: any residency violation,
-capacity bug or schedule inconsistency raises.  Numeric forward shapes are
-cross-checked against the symbolic IR.
+Two independent oracles check every plan: the simulator's runtime safety
+checker and the static verifier (:mod:`repro.hmms.verify`) — they share no
+code, so each guards the other.  A mutation harness then corrupts valid
+zoo plans one field at a time and asserts the verifier rejects each
+corruption naming the violated invariant family.
 """
+
+import copy
 
 import numpy as np
 import pytest
@@ -14,11 +18,17 @@ from hypothesis import strategies as st
 
 from repro.core import to_split_cnn
 from repro.graph import build_training_graph
-from repro.hmms import HMMSPlanner
+from repro.hmms import HMMSPlanner, verify_plan
+from repro.hmms.verify import (
+    FAMILY_COMPLETENESS, FAMILY_OVERLAP, FAMILY_REFCOUNT, FAMILY_RESIDENCY,
+    FAMILY_TRANSFER,
+)
+from repro.models import build_model
 from repro.models.base import ConvClassifier
 from repro.nn import (
     BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, ReLU, Sequential,
 )
+from repro.nn import init
 from repro.sim import GPUSimulator
 from repro.tensor import Tensor
 
@@ -95,3 +105,143 @@ def test_random_split_model_pipeline(case, grid, depth, stochastic):
     graph = build_training_graph(split, 2)
     plan = HMMSPlanner(scheduler="hmms").plan(graph)
     GPUSimulator().run(plan)
+    report = verify_plan(plan)
+    assert report.ok, report.render()
+
+
+# ----------------------------------------------------------------------
+# Model-zoo matrix: every plan the planner can emit must verify clean.
+# ----------------------------------------------------------------------
+ZOO = ("alexnet", "vgg11", "resnet18")
+
+
+def _zoo_graph(name, split):
+    kwargs = {} if name == "alexnet" else {
+        "dataset": "imagenet", "num_classes": 1000}
+    with init.fast_init():
+        model = build_model(name, **kwargs)
+        if split:
+            model = to_split_cnn(model, depth=0.5, num_splits=(2, 2))
+    return build_training_graph(model, 32)
+
+
+@pytest.fixture(scope="module", params=ZOO)
+def zoo_graphs(request):
+    """(unsplit, split) training graphs for one zoo model."""
+    name = request.param
+    return name, _zoo_graph(name, False), _zoo_graph(name, True)
+
+
+@pytest.mark.parametrize("split", [False, True], ids=["unsplit", "split"])
+@pytest.mark.parametrize("grouped", [False, True], ids=["fifo", "grouped"])
+def test_zoo_plans_verify_clean(zoo_graphs, split, grouped):
+    name, unsplit_graph, split_graph = zoo_graphs
+    graph = split_graph if split else unsplit_graph
+    planner = HMMSPlanner(scheduler="hmms", grouped_sync=grouped)
+    plan = planner.plan(graph)
+    report = verify_plan(plan, device=planner.device,
+                         cost_model=planner.cost_model)
+    assert report.ok, f"{name}: {report.render()}"
+
+
+# ----------------------------------------------------------------------
+# Mutation harness: corrupt one field of a valid zoo plan, assert the
+# verifier flags it and names the violated family.
+# ----------------------------------------------------------------------
+def _mutate_double_alloc(plan):
+    entry = next(e for e in plan.schedule if e.allocs_before)
+    entry.allocs_before.append(entry.allocs_before[0])
+
+
+def _mutate_double_free(plan):
+    entry = next(e for e in plan.schedule if e.frees_after)
+    entry.frees_after.append(entry.frees_after[0])
+
+
+def _mutate_understated_peak(plan):
+    plan.device_general_peak //= 2
+
+
+def _mutate_inflated_workspace(plan):
+    entry = max(plan.schedule, key=lambda e: e.workspace_bytes)
+    entry.workspace_bytes = plan.device_general_peak + 1
+
+
+def _mutate_drop_offload_start(plan):
+    entry = next(e for e in plan.schedule if e.offload_starts)
+    entry.offload_starts.pop(0)
+
+
+def _mutate_drop_prefetch_start(plan):
+    entry = next(e for e in plan.schedule if e.prefetch_starts)
+    entry.prefetch_starts.pop(0)
+
+
+def _mutate_leak(plan):
+    entry = next(e for e in plan.schedule if e.frees_after)
+    entry.frees_after.pop(0)
+
+
+def _mutate_premature_free(plan):
+    # Move a free to its TSO's alloc op, ahead of the last consumer.
+    for entry in plan.schedule:
+        for tso_id in entry.frees_after:
+            alloc_index = next(
+                (i for i, e in enumerate(plan.schedule)
+                 if tso_id in e.allocs_before), None)
+            if alloc_index is not None and alloc_index < entry.op_index:
+                entry.frees_after.remove(tso_id)
+                plan.schedule[alloc_index].frees_after.append(tso_id)
+                return
+    raise AssertionError("no movable free found")
+
+
+def _mutate_drop_all_prefetches(plan):
+    # One offloaded TSO never comes back from the host.
+    tso_id = next(e.offload_starts[0] for e in plan.schedule
+                  if e.offload_starts)
+    for entry in plan.schedule:
+        for bucket in (entry.prefetch_allocs_before, entry.prefetch_starts,
+                       entry.prefetch_syncs_before):
+            if tso_id in bucket:
+                bucket.remove(tso_id)
+
+
+def _mutate_late_prefetch_sync(plan):
+    # Synchronize one prefetch one op after the consumer that needs it.
+    index, entry = next(
+        (i, e) for i, e in enumerate(plan.schedule)
+        if e.prefetch_syncs_before and i + 1 < len(plan.schedule))
+    tso_id = entry.prefetch_syncs_before.pop(0)
+    plan.schedule[index + 1].prefetch_syncs_before.append(tso_id)
+
+
+MUTATIONS = [
+    (FAMILY_RESIDENCY, _mutate_double_alloc),
+    (FAMILY_RESIDENCY, _mutate_double_free),
+    (FAMILY_OVERLAP, _mutate_understated_peak),
+    (FAMILY_OVERLAP, _mutate_inflated_workspace),
+    (FAMILY_TRANSFER, _mutate_drop_offload_start),
+    (FAMILY_TRANSFER, _mutate_drop_prefetch_start),
+    (FAMILY_REFCOUNT, _mutate_leak),
+    (FAMILY_REFCOUNT, _mutate_premature_free),
+    (FAMILY_COMPLETENESS, _mutate_drop_all_prefetches),
+    (FAMILY_COMPLETENESS, _mutate_late_prefetch_sync),
+]
+
+
+@pytest.fixture(scope="module")
+def zoo_hmms_plan():
+    return HMMSPlanner(scheduler="hmms").plan(_zoo_graph("alexnet", False))
+
+
+@pytest.mark.parametrize(
+    "family,mutate", MUTATIONS,
+    ids=[f"{family}-{fn.__name__.lstrip('_')}" for family, fn in MUTATIONS])
+def test_mutated_zoo_plan_rejected(zoo_hmms_plan, family, mutate):
+    assert verify_plan(zoo_hmms_plan).ok      # sanity: clean before mutation
+    plan = copy.deepcopy(zoo_hmms_plan)
+    mutate(plan)
+    report = verify_plan(plan)
+    assert not report.ok, f"{mutate.__name__} went undetected"
+    assert family in report.families_violated(), report.render()

@@ -77,6 +77,38 @@ class TestFirstFit:
         pool.reset()
         assert pool.peak == 0
         assert pool.alloc(10, "a") == 0
+        assert pool._offsets == [0]
+
+    def test_zero_size_blocks_stack_at_one_offset(self):
+        """Zero-size blocks share an offset with each other and with a
+        real block; frees must remove exactly the tagged block."""
+        pool = FirstFitPool()
+        pool.alloc(0, "z1")
+        pool.alloc(0, "z2")
+        pool.alloc(10, "real")              # also at offset 0
+        pool.free("z1")
+        pool.free("real")
+        assert pool.live_bytes() == 0
+        assert pool.alloc(5, "next") == 0   # gap reusable
+        pool.free("z2")
+        with pytest.raises(PoolError):
+            pool.free("z2")
+
+    def test_offsets_stay_parallel_and_sorted(self):
+        """The bisect index (`_offsets`) must mirror `_blocks` exactly
+        through arbitrary churn."""
+        rng = np.random.default_rng(0)
+        pool = FirstFitPool()
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.45:
+                tag = live.pop(rng.integers(len(live)))
+                pool.free(tag)
+            else:
+                pool.alloc(int(rng.integers(0, 200)), step)
+                live.append(step)
+            assert pool._offsets == [b[0] for b in pool._blocks]
+            assert pool._offsets == sorted(pool._offsets)
 
 
 class TestBumpPool:

@@ -90,6 +90,46 @@ class TestOffloadReplay:
 
 
 class TestSafetyChecks:
+    def test_use_after_free_detected(self, vgg_graph):
+        """Regression: frees used to pop the TSO from the state map, so a
+        later read fell back to the RESIDENT default and passed silently."""
+        plan = HMMSPlanner(scheduler="none").plan(vgg_graph)
+        moved = False
+        for index, entry in enumerate(plan.schedule):
+            if moved:
+                break
+            for tso_id in list(entry.frees_after):
+                tso = plan.assignment.tsos[tso_id]
+                reads_at_free_op = any(
+                    t in vgg_graph.ops[index].inputs for t in tso.tensor_ids)
+                alloc_index = next(
+                    i for i, e in enumerate(plan.schedule)
+                    if tso_id in e.allocs_before)
+                if reads_at_free_op and alloc_index < index:
+                    # Free one op early: the op at `index` still reads it.
+                    entry.frees_after.remove(tso_id)
+                    plan.schedule[index - 1].frees_after.append(tso_id)
+                    moved = True
+                    break
+        assert moved, "expected a TSO read by its freeing op"
+        with pytest.raises(SimulationError, match="freed"):
+            GPUSimulator().run(plan)
+
+    def test_double_free_detected(self, vgg_graph):
+        plan = HMMSPlanner(scheduler="none").plan(vgg_graph)
+        entry = next(e for e in plan.schedule if e.frees_after)
+        entry.frees_after.append(entry.frees_after[0])
+        with pytest.raises(SimulationError, match="freed twice"):
+            GPUSimulator().run(plan)
+
+    def test_workspace_counts_against_capacity(self, vgg_graph):
+        """Regression: transient workspace bumped live bytes but skipped
+        the capacity check, so oversized workspaces passed silently."""
+        plan = HMMSPlanner(scheduler="none").plan(vgg_graph)
+        plan.schedule[0].workspace_bytes = P100_NVLINK.memory_capacity + 1
+        with pytest.raises(SimulationError, match="memory exceeded"):
+            GPUSimulator(check_capacity=True).run(plan)
+
     def test_read_of_offloaded_tso_detected(self, vgg_graph):
         plan = HMMSPlanner(scheduler="hmms").plan(vgg_graph)
         # Corrupt the plan: sync (and free) every offload immediately after

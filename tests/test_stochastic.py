@@ -92,3 +92,25 @@ def test_sampled_scheme_always_valid(total, parts, omega, seed):
     assert scheme.boundaries[-1] < total
     assert len(scheme.part_sizes(total)) == parts
     assert sum(scheme.part_sizes(total)) == total
+
+
+@given(
+    total=st.integers(2, 64),
+    parts=st.integers(2, 9),
+    omega=st.floats(0.0, 0.499),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=300, deadline=None)
+def test_collapsed_interval_fallback_leaves_room(total, parts, omega, seed):
+    """When the paper's sampling interval collapses, the fallback boundary
+    must still leave at least one element for each remaining part — i.e.
+    boundary i never exceeds total - (parts - i).  Stresses the tightest
+    configurations (tiny total, many parts, omega near the 0.5 limit)."""
+    if parts > total:
+        return
+    scheme = sample_split(total, parts, omega, np.random.default_rng(seed))
+    for i, boundary in enumerate(scheme.boundaries[1:], start=1):
+        assert boundary <= total - (parts - i), (
+            f"boundary {i}={boundary} leaves no room for the remaining "
+            f"{parts - i} part(s) of {total}")
+    assert all(size >= 1 for size in scheme.part_sizes(total))

@@ -1,0 +1,200 @@
+"""Tests for the independent static plan verifier (repro.hmms.verify).
+
+The verifier shares no replay code with the simulator, so these tests
+exercise both directions of the cross-check: clean plans from every
+scheduler must verify error-free, and targeted single-field corruptions
+must be detected with the right invariant family named.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.graph import build_training_graph
+from repro.hmms import (
+    HMMSPlanner, PlanVerificationError, VerificationReport, verify_plan,
+)
+from repro.hmms.verify import (
+    FAMILY_COMPLETENESS, FAMILY_OVERLAP, FAMILY_REFCOUNT, FAMILY_RESIDENCY,
+    FAMILY_TRANSFER, INVARIANT_FAMILIES,
+)
+from repro.models import small_resnet, small_vgg
+from repro.sim import GPUSimulator
+
+
+@pytest.fixture(scope="module")
+def vgg_graph():
+    return build_training_graph(small_vgg(rng=np.random.default_rng(0)), 16)
+
+
+@pytest.fixture(scope="module")
+def resnet_graph():
+    return build_training_graph(small_resnet(rng=np.random.default_rng(1)), 8)
+
+
+@pytest.fixture(scope="module")
+def hmms_plan(vgg_graph):
+    return HMMSPlanner(scheduler="hmms").plan(vgg_graph)
+
+
+def fresh_plan(graph, **kwargs):
+    kwargs.setdefault("scheduler", "hmms")
+    return HMMSPlanner(**kwargs).plan(graph)
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("scheduler", ["none", "layerwise", "hmms"])
+    @pytest.mark.parametrize("grouped", [False, True])
+    def test_all_schedulers_verify_clean(self, vgg_graph, scheduler, grouped):
+        plan = fresh_plan(vgg_graph, scheduler=scheduler, grouped_sync=grouped)
+        report = verify_plan(plan)
+        assert report.ok, report.render()
+        assert report.families_violated() == ()
+
+    def test_resnet_verifies_clean(self, resnet_graph):
+        report = verify_plan(fresh_plan(resnet_graph))
+        assert report.ok, report.render()
+
+    def test_no_offload_plan_is_stall_free(self, vgg_graph):
+        report = verify_plan(fresh_plan(vgg_graph, scheduler="none"))
+        assert report.stall_free
+        assert report.num_transfers == 0
+
+    def test_layerwise_is_not_stall_free(self, vgg_graph):
+        """The vDNN baseline stalls (Figure 8) — the verifier must agree,
+        but only as warnings: stalls are a performance bug, not safety."""
+        report = verify_plan(fresh_plan(vgg_graph, scheduler="layerwise"))
+        assert not report.stall_free
+        assert report.ok
+        assert report.warnings
+
+    def test_strict_stalls_promotes_to_error(self, vgg_graph):
+        plan = fresh_plan(vgg_graph, scheduler="layerwise")
+        report = verify_plan(plan, strict_stalls=True)
+        assert not report.ok
+        assert FAMILY_TRANSFER in report.families_violated()
+
+    def test_verifier_agrees_with_simulator_on_stalls(self, vgg_graph):
+        """Cross-check: the FIFO link replay flags a stall iff the
+        independent event-driven simulator measures one."""
+        for scheduler in ("none", "layerwise", "hmms"):
+            plan = fresh_plan(vgg_graph, scheduler=scheduler)
+            report = verify_plan(plan)
+            result = GPUSimulator().run(plan)
+            assert report.stall_free == (result.stall_time == 0.0), scheduler
+
+
+class TestReportApi:
+    def test_report_metadata(self, hmms_plan):
+        report = verify_plan(hmms_plan)
+        assert isinstance(report, VerificationReport)
+        assert report.num_ops == len(hmms_plan.schedule)
+        assert report.num_tsos == len(hmms_plan.assignment.tsos)
+        assert report.num_transfers == len(hmms_plan.offload_plan.transfers)
+
+    def test_render_names_every_family(self, hmms_plan):
+        text = verify_plan(hmms_plan).render()
+        for family in INVARIANT_FAMILIES:
+            assert family in text
+        assert "PASS" in text
+
+    def test_render_fail_and_raise(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        plan.schedule[0].allocs_before.extend(plan.schedule[0].allocs_before)
+        report = verify_plan(plan)
+        assert "FAIL" in report.render()
+        with pytest.raises(PlanVerificationError) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.report is report
+
+    def test_violation_str_names_family(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        plan.schedule[0].allocs_before.extend(plan.schedule[0].allocs_before)
+        violation = verify_plan(plan).errors[0]
+        assert FAMILY_RESIDENCY in str(violation)
+
+
+class TestCapacity:
+    def test_capacity_violation(self, hmms_plan):
+        report = verify_plan(hmms_plan, capacity=1 << 20)
+        assert not report.ok
+        assert report.families_violated() == (FAMILY_OVERLAP,)
+
+    def test_capacity_ok(self, hmms_plan):
+        report = verify_plan(hmms_plan, capacity=64 << 30)
+        assert report.ok
+
+
+class TestTargetedCorruptions:
+    """One unit test per corruption shape; the zoo-wide mutation matrix
+    lives in test_pipeline_fuzz.py."""
+
+    def test_unknown_tso_rejected(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        plan.schedule[0].allocs_before.append(999_999)
+        report = verify_plan(plan)
+        assert FAMILY_RESIDENCY in report.families_violated()
+
+    def test_wrong_op_index_rejected(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        plan.schedule[3].op_index = 7
+        report = verify_plan(plan)
+        assert FAMILY_COMPLETENESS in report.families_violated()
+
+    def test_offload_of_unallocated_tso(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        entry = next(e for e in plan.schedule if e.offload_starts)
+        tso_id = entry.offload_starts[0]
+        alloc_entry = next(e for e in plan.schedule
+                           if tso_id in e.allocs_before)
+        alloc_entry.allocs_before.remove(tso_id)
+        report = verify_plan(plan)
+        assert FAMILY_RESIDENCY in report.families_violated()
+
+    def test_leaked_tso_rejected(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        entry = next(e for e in plan.schedule if e.frees_after)
+        entry.frees_after.pop()
+        report = verify_plan(plan)
+        assert FAMILY_REFCOUNT in report.families_violated()
+
+    def test_missing_prefetch_rejected(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        for entry in plan.schedule:
+            entry.prefetch_allocs_before.clear()
+            entry.prefetch_starts.clear()
+            entry.prefetch_syncs_before.clear()
+        report = verify_plan(plan)
+        assert FAMILY_COMPLETENESS in report.families_violated()
+
+    def test_understated_peak_rejected(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        plan.device_general_peak //= 2
+        report = verify_plan(plan)
+        assert FAMILY_OVERLAP in report.families_violated()
+
+    def test_sync_on_unissued_offload(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        entry = next(e for e in plan.schedule if e.offload_starts)
+        tso_id = entry.offload_starts[0]
+        entry.offload_starts.remove(tso_id)
+        report = verify_plan(plan)
+        assert FAMILY_TRANSFER in report.families_violated()
+
+
+class TestIntegrationHooks:
+    def test_planner_verify_flag(self, vgg_graph):
+        plan = HMMSPlanner(scheduler="hmms", verify=True).plan(vgg_graph)
+        assert plan.device_general_peak > 0
+
+    def test_simulator_verify_flag_clean(self, hmms_plan):
+        result = GPUSimulator(verify=True).run(hmms_plan)
+        assert result.total_time > 0
+
+    def test_simulator_verify_flag_rejects_corrupt_plan(self, hmms_plan):
+        plan = copy.deepcopy(hmms_plan)
+        entry = next(e for e in plan.schedule if e.frees_after)
+        entry.frees_after.pop()
+        with pytest.raises(PlanVerificationError):
+            GPUSimulator(verify=True).run(plan)
