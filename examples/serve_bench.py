@@ -1,0 +1,36 @@
+"""Inference serving on top of the memory planner (the `repro.serve`
+runtime).
+
+Benchmarks VGG-11 under an open-loop Poisson load three ways: a light
+load that the flush timer dominates, an overload that exercises
+admission control and deadlines, and the same overload against the
+split-transformed model — whose lower forward peak buys a larger
+discovered batch and therefore more throughput headroom.
+
+Run:  python examples/serve_bench.py
+"""
+
+from repro.serve import BenchConfig, ServingEngine, render_report, run_bench
+
+
+def main() -> None:
+    print("Discovering serving capacity for vgg11 (plans inference graphs "
+          "at doubling batch sizes)...\n")
+    engine = ServingEngine.from_zoo("vgg11")
+
+    light = BenchConfig(rps=100, duration=5.0)
+    print(render_report(engine, light, run_bench(engine, light)))
+
+    overload = BenchConfig(rps=3000, duration=2.0, queue_depth=64,
+                           deadline=0.050)
+    print("\n--- overload: 3000 req/s against the same engine ---\n")
+    print(render_report(engine, overload, run_bench(engine, overload)))
+
+    print("\n--- same overload, split-CNN (4 patches, depth 0.5) ---\n")
+    split_engine = ServingEngine.from_zoo("vgg11", split=4)
+    print(render_report(split_engine, overload,
+                        run_bench(split_engine, overload)))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,10 @@ is reproducible from a shell:
     python -m repro plan vgg19 -b 64     # plan + simulate one model
     python -m repro verify-plan vgg19    # static plan verification
     python -m repro info resnet50 -b 64  # graph statistics
+
+plus the serving-side bench:
+
+    python -m repro serve-bench vgg11 --rps 100 --duration 5
 """
 
 from __future__ import annotations
@@ -80,6 +84,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device pool capacity the plan must fit (GiB)")
     verify.add_argument("--strict-stalls", action="store_true",
                         help="treat zero-stall violations as errors")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="open-loop serving benchmark (queue -> batcher -> engine)")
+    serve.add_argument("model")
+    serve.add_argument("--rps", type=float, default=100.0,
+                       help="offered Poisson request rate")
+    serve.add_argument("--duration", type=float, default=5.0,
+                       help="arrival window in simulated seconds")
+    serve.add_argument("--split", type=int, default=1,
+                       help="total patches (1,2,3,4,6,9); 1 = unsplit")
+    serve.add_argument("--split-depth", type=float, default=0.5)
+    serve.add_argument("--flush-ms", type=float, default=5.0,
+                       help="dynamic batcher flush timeout (ms)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission queue bound (requests)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="cap batches below the discovered maximum")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request latency budget (ms)")
+    serve.add_argument("--request-size", type=int, default=1,
+                       help="images per request")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--numeric", action="store_true",
+                       help="also run real numpy forward passes")
 
     info = sub.add_parser("info", help="graph statistics for a model")
     info.add_argument("model")
@@ -236,6 +265,28 @@ def _cmd_verify_plan(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serve import BenchConfig, ServingEngine, render_report, run_bench
+
+    engine = ServingEngine.from_zoo(args.model, split=args.split,
+                                    split_depth=args.split_depth,
+                                    numeric=args.numeric)
+    config = BenchConfig(
+        rps=args.rps,
+        duration=args.duration,
+        seed=args.seed,
+        request_size=args.request_size,
+        flush_timeout=args.flush_ms / 1e3,
+        queue_depth=args.queue_depth,
+        max_batch_images=args.max_batch,
+        deadline=args.deadline_ms / 1e3 if args.deadline_ms is not None
+        else None,
+    )
+    metrics = run_bench(engine, config)
+    print(render_report(engine, config, metrics))
+    return 0 if metrics.completed_requests else 1
+
+
 def _cmd_info(args) -> int:
     from .graph import build_training_graph
     from .graph.export import graph_stats
@@ -284,6 +335,7 @@ _COMMANDS = {
     "accuracy": _cmd_accuracy,
     "plan": _cmd_plan,
     "verify-plan": _cmd_verify_plan,
+    "serve-bench": _cmd_serve_bench,
     "info": _cmd_info,
     "export": _cmd_export,
 }

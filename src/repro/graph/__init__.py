@@ -11,7 +11,8 @@ from .registry import OpDef, REGISTRY, has_op, infer_op_shapes, op_def
 
 __all__ = [
     "Graph", "OpNode", "TensorValue", "FLOAT_BYTES",
-    "GraphBuilder", "build_forward_graph", "append_backward_graph",
+    "GraphBuilder", "build_forward_graph", "build_inference_graph",
+    "append_backward_graph",
     "Lifetime", "compute_lifetimes",
     "GraphStats", "graph_stats", "to_dot", "to_networkx",
     "GraphExecutor", "append_checkpointed_backward",
@@ -24,3 +25,9 @@ def build_training_graph(model, batch_size: int, **kwargs):
     """Forward + loss + backward graph for one training step of ``model``."""
     graph = build_forward_graph(model, batch_size, **kwargs)
     return append_backward_graph(graph)
+
+
+def build_inference_graph(model, batch_size: int, **kwargs):
+    """Forward-only serving graph of ``model``: stops at the logits, marks
+    nothing saved for backward, and drops dropout layers."""
+    return build_forward_graph(model, batch_size, inference=True, **kwargs)

@@ -48,7 +48,8 @@ class GraphBuilder:
 
     def __init__(self, batch_size: int, workspace_cap: int = GIB,
                  memory_efficient_bn: bool = False,
-                 patch_order: str = "depth_first") -> None:
+                 patch_order: str = "depth_first",
+                 inference: bool = False) -> None:
         if patch_order not in ("depth_first", "breadth_first"):
             raise ValueError(
                 f"patch_order must be 'depth_first' or 'breadth_first', "
@@ -59,6 +60,7 @@ class GraphBuilder:
         self.workspace_cap = workspace_cap
         self.memory_efficient_bn = memory_efficient_bn
         self.patch_order = patch_order
+        self.inference = inference
         self._param_cache: dict[int, TensorValue] = {}
         self._name_counts: dict[str, int] = {}
 
@@ -117,8 +119,12 @@ class GraphBuilder:
             dtype_bytes = (out_dtypes or {}).get(index, 4)
             outputs.append(self.graph.add_tensor(self._unique(name), shape,
                                                  dtype_bytes=dtype_bytes))
-        saved = [(inputs if source == "input" else outputs)[index]
-                 for source, index in definition.saved]
+        # Inference graphs have no backward twin: nothing is "generated
+        # data" in the Figure-1 sense, so no tensor is marked saved and no
+        # lifetime extends past the op's last forward consumer.
+        saved = [] if self.inference else \
+            [(inputs if source == "input" else outputs)[index]
+             for source, index in definition.saved]
         self.graph.add_op(
             self._unique(base), op_type, inputs, outputs, attrs=attrs,
             saved=saved, workspace_bytes=workspace_bytes,
@@ -257,6 +263,10 @@ def _emit_linear(builder: GraphBuilder, module: Linear, value: TensorValue) -> T
 
 
 def _emit_dropout(builder: GraphBuilder, module: Dropout, value: TensorValue) -> TensorValue:
+    if builder.inference:
+        # Dropout is the identity at inference time; emitting no op at all
+        # also spares the planner the mask tensor.
+        return value
     out, _mask = builder.add_registered_op(
         "dropout", "dropout", [value], attrs={"p": module.p},
         out_names=["dropout.out", "dropout.mask"], out_dtypes={1: 1},
@@ -482,12 +492,18 @@ def build_forward_graph(
     with_loss: bool = True,
     workspace_cap: int = GIB,
     patch_order: str = "depth_first",
+    inference: bool = False,
 ) -> Graph:
     """Build the serialized forward graph for one training step of ``model``.
 
     ``patch_order`` controls how split-region patches are serialized:
     ``"depth_first"`` (one patch at a time — the memory-friendly schedule)
     or ``"breadth_first"`` (all patches advance layer by layer).
+
+    ``inference=True`` builds a serving graph instead: the graph stops at
+    the logits (no loss head), no tensor is marked saved for backward, and
+    dropout layers vanish — the memory plan for such a graph carries no
+    backward-only state at all.
     """
     size = input_size if input_size is not None else model.input_size
     builder = GraphBuilder(
@@ -495,6 +511,7 @@ def build_forward_graph(
         workspace_cap=workspace_cap,
         memory_efficient_bn=bool(getattr(model, "memory_efficient_bn", False)),
         patch_order=patch_order,
+        inference=inference,
     )
     graph = builder.graph
     graph.name = model.name
@@ -503,10 +520,11 @@ def build_forward_graph(
     value = builder.emit(model.features, value)
     value = _emit_flatten(builder, Flatten(), value)
     value = builder.emit(model.classifier, value)
-    if with_loss:
+    value.name = "logits" if inference else value.name
+    if with_loss and not inference:
         builder.add_registered_op("cross_entropy", "cross_entropy", [value],
                                   out_names=["loss", "softmax"])
-    if builder.memory_efficient_bn:
+    if builder.memory_efficient_bn and not inference:
         _apply_inplace_abn(graph)
     graph.validate()
     return graph

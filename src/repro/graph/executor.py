@@ -119,7 +119,8 @@ class GraphExecutor:
 
     def run(self, input_array: np.ndarray,
             targets: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
-        """Execute every op; returns {'loss': ..., 'grad(<param>)': ...}."""
+        """Execute every op; returns {'loss': ..., 'grad(<param>)': ...}
+        for training graphs, {'logits': ...} for inference graphs."""
         self.release_intermediates()
         input_tensor = next(t for t in self.graph.tensors.values()
                             if t.kind == "input")
@@ -135,8 +136,8 @@ class GraphExecutor:
             self.execute_op(op)
         outputs: Dict[str, np.ndarray] = {}
         for tensor in self.graph.tensors.values():
-            if tensor.name == "loss":
-                outputs["loss"] = self.values[tensor.id]
+            if tensor.name in ("loss", "logits"):
+                outputs[tensor.name] = self.values[tensor.id]
         # Final parameter gradients: a parameter used by several forward
         # ops (split patches, weight sharing) accumulates through a chain
         # of grad_acc tensors; the one with the highest id is the total.

@@ -5,7 +5,7 @@ from .offload import (
     OffloadPlan, TransferPlan, plan_offload, plan_prefetch,
     select_offload_candidates,
 )
-from .planner import SCHEDULERS, HMMSPlanner, MemoryPlan, OpSchedule
+from .planner import SCHEDULERS, HMMSPlanner, MemoryPlan, OpSchedule, PlanCache
 from .pools import BumpPool, FirstFitPool, PoolError
 from .storage import StorageAssignment, assign_storage
 from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, POOL_HOST, TSO
@@ -20,7 +20,7 @@ __all__ = [
     "FirstFitPool", "BumpPool", "PoolError",
     "OffloadPlan", "TransferPlan", "plan_offload", "plan_prefetch",
     "select_offload_candidates", "plan_layerwise",
-    "HMMSPlanner", "MemoryPlan", "OpSchedule", "SCHEDULERS",
+    "HMMSPlanner", "MemoryPlan", "OpSchedule", "PlanCache", "SCHEDULERS",
     "INVARIANT_FAMILIES", "PlanVerificationError", "VerificationReport",
     "Violation", "verify_plan",
 ]

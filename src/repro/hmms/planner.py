@@ -19,7 +19,7 @@ needs to replay a training step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..graph.ir import Graph
 from ..graph.liveness import Lifetime, compute_lifetimes
@@ -32,7 +32,7 @@ from .pools import BumpPool, FirstFitPool
 from .storage import StorageAssignment, assign_storage
 from .tso import POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM
 
-__all__ = ["OpSchedule", "MemoryPlan", "HMMSPlanner", "SCHEDULERS"]
+__all__ = ["OpSchedule", "MemoryPlan", "HMMSPlanner", "PlanCache", "SCHEDULERS"]
 
 SCHEDULERS = ("none", "layerwise", "hmms")
 
@@ -166,6 +166,11 @@ class HMMSPlanner:
     def _resolve_fraction(self, graph: Graph) -> float:
         if self.scheduler == "none":
             return 0.0
+        if not any(op.phase == "backward" for op in graph.ops):
+            # Inference graph: no tensor lives past the forward pass, so
+            # there is nothing an offload could hide behind — skip the
+            # offloadability analysis and plan residently.
+            return 0.0
         if self.offload_fraction is not None:
             return self.offload_fraction
         analysis = analyze_offloadability(graph, self.device, self.cost_model)
@@ -269,3 +274,54 @@ class HMMSPlanner:
                     else (tso_id, "main")
                 pool.free(tag)
         return pool.peak
+
+
+class PlanCache:
+    """Memoizes ``(key) -> planned artifact`` so steady-state callers never
+    replan.
+
+    Planning a graph is pure — same graph, same planner, same plan — so a
+    serving runtime that sees the same ``(model, split scheme, batch)``
+    over and over only needs HMMS once per distinct key.  The cache is a
+    plain dict plus hit/miss counters; the *value* is whatever the builder
+    callable returns (the serving engine stores graph + plan + simulated
+    latency together).
+
+    ``capacity`` bounds the number of retained entries (FIFO eviction) so
+    a pathological key stream cannot grow memory without bound.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("PlanCache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: Dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = build()
+        if entry is None:
+            raise ValueError("PlanCache builders must not return None")
+        if len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = entry
+        return entry
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """``(hits, misses, size)`` — misses == number of plans built."""
+        return self.hits, self.misses, len(self._entries)

@@ -55,6 +55,18 @@ class CostModel:
             if phase is None or op.phase == phase
         )
 
+    def inference_latency(self, graph: Graph) -> float:
+        """Simulated forward latency of one serving batch, in seconds.
+
+        This is what the serving runtime charges per executed batch: the
+        sum of the forward ops' roofline times plus one launch overhead
+        for the host-side dispatch of the batch.  The same device spec
+        that prices training steps prices serving, so bench numbers are
+        comparable with the Figure-8/10 simulator output.
+        """
+        return self.device.kernel_overhead + self.total_time(graph,
+                                                             phase="forward")
+
     # ------------------------------------------------------------------
     def cost(self, graph: Graph, op: OpNode) -> OpCost:
         flops, bytes_moved, efficiency = self._characterize(graph, op)

@@ -1,0 +1,26 @@
+"""``repro.serve`` — memory-plan-aware inference serving runtime.
+
+The serving side of the reproduction: forward-only graphs planned by
+HMMS, verified by :mod:`repro.hmms.verify`, cached per
+``(model, split scheme, batch)``, and driven by an event-loop of
+admission queue -> dynamic batcher -> engine on a simulated clock.
+See ``docs/serving.md`` for the pipeline walkthrough.
+"""
+
+from .batcher import DynamicBatcher
+from .engine import CachedBatchPlan, ServingEngine
+from .loadgen import BenchConfig, poisson_arrivals, render_report, run_bench
+from .metrics import LatencyHistogram, ServingMetrics, percentile
+from .queue import AdmissionQueue, OversizeRequestError
+from .request import Request
+from .server import Server
+
+__all__ = [
+    "Request",
+    "AdmissionQueue", "OversizeRequestError",
+    "DynamicBatcher",
+    "ServingEngine", "CachedBatchPlan",
+    "Server",
+    "LatencyHistogram", "ServingMetrics", "percentile",
+    "BenchConfig", "poisson_arrivals", "run_bench", "render_report",
+]

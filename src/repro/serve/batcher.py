@@ -1,0 +1,79 @@
+"""Dynamic batching: coalesce queued requests into one engine batch.
+
+Batching is where Split-CNN's reduced peak memory turns into serving
+throughput: the larger the batch that fits the device, the more images
+amortize each kernel launch.  The batcher fires when either
+
+- the queue holds ``max_batch_images`` worth of work (a full batch is
+  ready — waiting longer only adds latency), or
+- the oldest admitted request has waited ``flush_timeout`` seconds (a
+  partial batch goes out so light traffic is not stuck behind a timer).
+
+Both conditions are evaluated on the simulated clock, so the same
+arrival trace always produces the same batches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .metrics import ServingMetrics
+from .queue import AdmissionQueue
+from .request import Request
+
+__all__ = ["DynamicBatcher"]
+
+
+class DynamicBatcher:
+    """Forms batches from an :class:`AdmissionQueue` under a size cap."""
+
+    def __init__(self, max_batch_images: int, flush_timeout: float) -> None:
+        if max_batch_images < 1:
+            raise ValueError(
+                f"max_batch_images must be >= 1, got {max_batch_images}")
+        if flush_timeout < 0:
+            raise ValueError(
+                f"flush_timeout must be >= 0, got {flush_timeout}")
+        self.max_batch_images = max_batch_images
+        self.flush_timeout = flush_timeout
+
+    # ------------------------------------------------------------------
+    def ready_at(self, queue: AdmissionQueue) -> float:
+        """Earliest simulated time a batch may be dispatched.
+
+        With a full batch queued that moment has already passed (the
+        admission that crossed the threshold); otherwise it is the flush
+        timer of the oldest waiting request.
+        """
+        oldest = queue.oldest_arrival
+        if oldest is None:
+            raise ValueError("ready_at on an empty queue")
+        if queue.pending_images >= self.max_batch_images:
+            return queue.last_admit_time
+        return oldest + self.flush_timeout
+
+    # ------------------------------------------------------------------
+    def form_batch(self, queue: AdmissionQueue, now: float,
+                   metrics: ServingMetrics) -> List[Request]:
+        """Pop requests into a batch of at most ``max_batch_images``.
+
+        Requests whose deadline passed while they queued are dropped and
+        counted — they never reach the engine.  May return an empty list
+        (the "empty flush": the timer fired but every waiting request had
+        expired), in which case the caller skips the engine entirely.
+        """
+        batch: List[Request] = []
+        images = 0
+        while len(queue):
+            head = queue.peek()
+            if head.expired_at(now):
+                metrics.expired += 1
+                queue.pop()
+                continue
+            if images + head.size > self.max_batch_images:
+                break
+            request = queue.pop()
+            request.dispatch_time = now
+            batch.append(request)
+            images += request.size
+        return batch

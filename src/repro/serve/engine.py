@@ -1,0 +1,245 @@
+"""The serving engine: planned, verified, cached forward execution.
+
+The engine owns the expensive part of serving a batch — building the
+forward-only IR graph, running HMMS over it, and verifying the plan —
+and memoizes all of it in a :class:`~repro.hmms.planner.PlanCache` keyed
+by ``(model, split scheme, batch)``.  Steady-state traffic therefore
+never replans: after warmup every batch is a cache hit that charges a
+precomputed simulated latency (and optionally runs the numeric
+:class:`~repro.graph.executor.GraphExecutor` for real logits).
+
+Batch sizes are bucketed to powers of two: a 13-image batch executes the
+16-image graph.  Bucketing is what makes the cache finite — without it
+every distinct arrival pattern would plan a fresh graph — and the padding
+waste is bounded at 2x in the worst case.
+
+The per-model maximum batch is *discovered*, not configured: the engine
+doubles the batch until the planned device peak no longer fits the
+device's memory capacity (the Figure-10 search, restricted to the dyadic
+grid the buckets live on).  Split models discover larger maxima than
+their unsplit twins — the paper's peak-memory reduction turned into
+serving headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph import GraphExecutor, build_inference_graph
+from ..graph.ir import Graph
+from ..hmms import HMMSPlanner, MemoryPlan, PlanCache, verify_plan
+from ..models.base import ConvClassifier
+from ..profile.device import DeviceSpec, P100_NVLINK
+from .request import Request
+
+__all__ = ["CachedBatchPlan", "ServingEngine"]
+
+
+@dataclass
+class CachedBatchPlan:
+    """Everything needed to serve one ``(model, split, batch)`` key."""
+
+    batch: int
+    graph: Graph
+    plan: MemoryPlan
+    latency: float                      # simulated seconds per batch
+    executor: Optional[GraphExecutor] = None
+
+
+class ServingEngine:
+    """Plans, verifies, caches and executes forward-only batches.
+
+    Parameters
+    ----------
+    model: the (possibly split-transformed) model to serve.
+    device: device spec that prices kernels and bounds the batch search.
+    scheduler: HMMS scheduler for inference plans; offloading has nothing
+        to hide behind in a forward-only graph, so ``'none'`` is the
+        default and ``'hmms'`` degenerates to it.
+    verify_plans: run :func:`repro.hmms.verify.verify_plan` on every plan
+        before it may serve traffic (raises on violations).
+    numeric: also run each batch through the numeric graph executor —
+        real logits, for tests and correctness spot-checks; simulated
+        latency is charged either way.
+    batch_cap: upper bound for the capacity search (keeps discovery
+        bounded for models far smaller than the device).
+    """
+
+    def __init__(
+        self,
+        model: ConvClassifier,
+        device: DeviceSpec = P100_NVLINK,
+        scheduler: str = "none",
+        verify_plans: bool = True,
+        numeric: bool = False,
+        batch_cap: int = 4096,
+        cache_capacity: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if batch_cap < 1:
+            raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
+        self.model = model
+        self.device = device
+        self.planner = HMMSPlanner(device=device, scheduler=scheduler)
+        self.verify_plans = verify_plans
+        self.numeric = numeric
+        self.batch_cap = batch_cap
+        self.cache = PlanCache(capacity=cache_capacity)
+        self.plans_verified = 0
+        self.executed_batches = 0
+        self.executed_images = 0
+        self.padded_images = 0
+        self._rng = np.random.default_rng(seed)
+        self._split_key = str(getattr(model, "split_info", "unsplit"))
+        self._max_batch: Optional[int] = None
+        self._logits: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_zoo(cls, name: str, split: int = 1, split_depth: float = 0.5,
+                 **kwargs) -> "ServingEngine":
+        """Engine for a zoo model, optionally split-transformed.
+
+        ``split`` is the paper's total patch count (1, 2, 3, 4, 6 or 9);
+        ``split_depth`` the fraction of conv layers split.  ImageNet-scale
+        zoo models get their ImageNet heads, as in the CLI's ``plan``.
+        """
+        from ..core import to_split_cnn
+        from ..experiments.accuracy import GRID_OF_SPLITS
+        from ..models import build_model
+        from ..nn import init
+
+        if split not in GRID_OF_SPLITS:
+            raise ValueError(
+                f"split must be one of {sorted(GRID_OF_SPLITS)}, got {split}")
+        model_kwargs = {}
+        if name in ("alexnet", "vgg11", "vgg16", "vgg19",
+                    "resnet18", "resnet34", "resnet50"):
+            model_kwargs = {"dataset": "imagenet", "num_classes": 1000}
+        with init.fast_init():
+            model = build_model(name, **model_kwargs)
+            if split > 1:
+                model = to_split_cnn(model, depth=split_depth,
+                                     num_splits=GRID_OF_SPLITS[split])
+        return cls(model, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _build_entry(self, batch: int) -> CachedBatchPlan:
+        graph = build_inference_graph(self.model, batch)
+        plan = self.planner.plan(graph)
+        if self.verify_plans:
+            verify_plan(plan, device=self.device,
+                        cost_model=self.planner.cost_model).raise_if_failed()
+            self.plans_verified += 1
+        latency = self.planner.cost_model.inference_latency(graph)
+        executor = None
+        if self.numeric:
+            executor = GraphExecutor(
+                graph, GraphExecutor.parameters_from_model(graph, self.model))
+        return CachedBatchPlan(batch=batch, graph=graph, plan=plan,
+                               latency=latency, executor=executor)
+
+    def entry_for(self, batch: int) -> CachedBatchPlan:
+        """Cached plan for the bucket that covers ``batch`` images."""
+        bucket = self.bucket(batch)
+        key = (self.model.name, self._split_key, bucket)
+        return self.cache.get_or_build(key,
+                                       lambda: self._build_entry(bucket))
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def max_batch(self) -> int:
+        """Largest servable batch (images), discovered on first use.
+
+        Figure-10 search on the dyadic grid: double the batch until the
+        planned device peak exceeds the device capacity, keep the last
+        batch that fit.  Buckets are powers of two, so the dyadic grid is
+        exactly the set of batches the engine can execute.
+        """
+        if self._max_batch is None:
+            fitting: Optional[int] = None
+            batch = 1
+            while batch <= self.batch_cap:
+                plan = self.planner.plan(
+                    build_inference_graph(self.model, batch))
+                if not plan.fits(self.device.memory_capacity):
+                    break
+                fitting = batch
+                batch *= 2
+            if fitting is None:
+                raise ValueError(
+                    f"{self.model.name}: even a single-image inference plan "
+                    f"exceeds device memory "
+                    f"({self.device.memory_capacity} bytes)"
+                )
+            self._max_batch = fitting
+        return self._max_batch
+
+    def bucket(self, batch: int) -> int:
+        """Smallest power-of-two bucket covering ``batch`` images."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if batch > self.max_batch:
+            raise ValueError(
+                f"batch of {batch} images exceeds the discovered maximum "
+                f"of {self.max_batch} for {self.model.name}"
+            )
+        bucket = 1
+        while bucket < batch:
+            bucket *= 2
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, requests: List[Request]) -> float:
+        """Serve one batch; returns the simulated latency in seconds.
+
+        The batch runs at its bucket size (padding images are generated,
+        executed and discarded).  With ``numeric`` enabled the logits of
+        each request's images are retained until the next ``execute``
+        call and can be read back via :meth:`logits_for`.
+        """
+        if not requests:
+            raise ValueError("execute needs at least one request")
+        images = sum(r.size for r in requests)
+        entry = self.entry_for(images)
+        self.executed_batches += 1
+        self.executed_images += images
+        self.padded_images += entry.batch - images
+        if entry.executor is not None:
+            self._run_numeric(entry, requests, images)
+        return entry.latency
+
+    def _run_numeric(self, entry: CachedBatchPlan, requests: List[Request],
+                     images: int) -> None:
+        input_tensor = next(t for t in entry.graph.tensors.values()
+                            if t.kind == "input")
+        batch_input = self._rng.standard_normal(input_tensor.shape)
+        entry.executor.run(batch_input)
+        logits_tensor = next(t for t in entry.graph.tensors.values()
+                             if t.name == "logits")
+        logits = entry.executor.values[logits_tensor.id]
+        self._logits.clear()
+        offset = 0
+        for request in requests:
+            self._logits[request.id] = logits[offset:offset + request.size]
+            offset += request.size
+        entry.executor.release_intermediates()
+
+    def logits_for(self, request: Request) -> np.ndarray:
+        """Logits of ``request`` from the most recent numeric batch."""
+        return self._logits[request.id]
+
+    # ------------------------------------------------------------------
+    @property
+    def replans(self) -> int:
+        """Number of times the engine had to plan (cache misses)."""
+        return self.cache.misses

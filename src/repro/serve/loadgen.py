@@ -1,0 +1,113 @@
+"""Open-loop Poisson load generation and the serve-bench driver.
+
+Open-loop means arrivals do not wait for responses — the generator fires
+at the offered rate no matter how far the server falls behind, which is
+what exposes queueing collapse and makes admission control earn its keep
+(a closed-loop generator self-throttles and hides both).
+
+Inter-arrival gaps are exponential draws from a seeded generator, so a
+``(rps, duration, seed)`` triple names one exact trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .engine import ServingEngine
+from .metrics import ServingMetrics
+from .request import Request
+from .server import Server
+
+__all__ = ["BenchConfig", "poisson_arrivals", "run_bench", "render_report"]
+
+
+@dataclass
+class BenchConfig:
+    """One serve-bench run, fully determined by its fields."""
+
+    rps: float = 100.0                 # offered request rate
+    duration: float = 5.0              # arrival window, simulated seconds
+    seed: int = 0
+    request_size: int = 1              # images per request
+    flush_timeout: float = 0.005
+    queue_depth: int = 256
+    max_batch_images: Optional[int] = None   # None -> engine's discovered max
+    deadline: Optional[float] = None   # per-request latency budget, seconds
+
+    def __post_init__(self) -> None:
+        if self.rps <= 0:
+            raise ValueError(f"rps must be positive, got {self.rps}")
+        if self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration}")
+
+
+def poisson_arrivals(config: BenchConfig) -> List[Request]:
+    """The arrival trace of one bench run (sorted by arrival time)."""
+    rng = np.random.default_rng(config.seed)
+    arrivals: List[Request] = []
+    now = 0.0
+    while True:
+        now += rng.exponential(1.0 / config.rps)
+        if now >= config.duration:
+            return arrivals
+        deadline = now + config.deadline if config.deadline is not None \
+            else None
+        arrivals.append(Request(id=len(arrivals), arrival_time=now,
+                                size=config.request_size, deadline=deadline))
+
+
+def run_bench(engine: ServingEngine,
+              config: BenchConfig) -> ServingMetrics:
+    """Run one open-loop bench against a fresh :class:`Server`."""
+    server = Server(
+        engine,
+        flush_timeout=config.flush_timeout,
+        queue_depth=config.queue_depth,
+        max_batch_images=config.max_batch_images,
+    )
+    return server.run(poisson_arrivals(config))
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def render_report(engine: ServingEngine, config: BenchConfig,
+                  metrics: ServingMetrics) -> str:
+    """The one-screen serve-bench report."""
+    lines: List[str] = []
+    lines.append(f"serve-bench — {engine.model.name}")
+    lines.append(f"offered load     : {config.rps:g} req/s x "
+                 f"{config.duration:g} s (Poisson, seed {config.seed}, "
+                 f"{config.request_size} img/req)")
+    lines.append(f"max batch        : "
+                 f"{engine.max_batch} images (discovered), "
+                 f"flush timeout {config.flush_timeout * 1e3:g} ms, "
+                 f"queue depth {config.queue_depth}")
+    lines.append(f"requests         : {metrics.arrived} arrived / "
+                 f"{metrics.admitted} admitted / "
+                 f"{metrics.completed_requests} completed")
+    lines.append(f"drops            : {metrics.rejected_queue_full} "
+                 f"queue-full, {metrics.expired} deadline-expired, "
+                 f"{metrics.empty_flushes} empty flushes")
+    rates = metrics.throughput(config.duration)
+    lines.append(f"throughput       : {rates['requests_per_s']:.1f} req/s, "
+                 f"{rates['images_per_s']:.1f} img/s (simulated)")
+    lines.append(f"latency          : {metrics.latency.summary()}")
+    lines.append(f"queue wait       : {metrics.queue_wait.summary()}")
+    depth_p95 = metrics.queue_depth_p95()
+    lines.append(f"queue depth p95  : "
+                 f"{depth_p95 if depth_p95 is not None else 'n/a'}")
+    lines.append(f"batch sizes      : {metrics.batch_size_summary()}")
+    lines.append(f"engine           : {metrics.batches} batches, "
+                 f"{engine.padded_images} padded images, "
+                 f"{engine.replans} plans built "
+                 f"({engine.plans_verified} verified, 0 violations), "
+                 f"{engine.cache.hits} cache hits")
+    if metrics.latency.samples:
+        lines.append("latency histogram:")
+        lines.append(metrics.latency.render())
+    return "\n".join(lines)

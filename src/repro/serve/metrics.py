@@ -1,0 +1,140 @@
+"""Serving metrics: latency percentiles, batch shapes, drop accounting.
+
+Every number the bench prints comes from here.  Latencies are kept as raw
+samples (a bench run is bounded, so exact percentiles are affordable) and
+additionally bucketed into a power-of-two histogram for the one-screen
+report.  Times are simulated seconds throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .request import Request
+
+__all__ = ["LatencyHistogram", "ServingMetrics", "percentile"]
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Exact percentile (nearest-rank) of a non-empty sample list."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class LatencyHistogram:
+    """Latency samples plus a power-of-two-millisecond display histogram."""
+
+    #: Bucket upper bounds in milliseconds; the last bucket is open-ended.
+    BOUNDS_MS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+        self.buckets: Counter = Counter()
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+        ms = seconds * 1e3
+        for bound in self.BOUNDS_MS:
+            if ms <= bound:
+                self.buckets[bound] += 1
+                return
+        self.buckets[None] += 1        # > largest bound
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def summary(self) -> str:
+        if not self.samples:
+            return "no completed requests"
+        return (f"p50 {self.p(50) * 1e3:7.2f} ms   "
+                f"p95 {self.p(95) * 1e3:7.2f} ms   "
+                f"p99 {self.p(99) * 1e3:7.2f} ms   "
+                f"max {max(self.samples) * 1e3:7.2f} ms")
+
+    def render(self, width: int = 40) -> str:
+        """ASCII histogram, one row per occupied bucket."""
+        if not self.samples:
+            return "  (empty)"
+        rows = []
+        top = max(self.buckets.values())
+        for bound in (*self.BOUNDS_MS, None):
+            count = self.buckets.get(bound)
+            if not count:
+                continue
+            label = f"<= {bound:4d} ms" if bound is not None else "  > 1024 ms"
+            bar = "#" * max(1, round(width * count / top))
+            rows.append(f"  {label}  {bar} {count}")
+        return "\n".join(rows)
+
+
+@dataclass
+class ServingMetrics:
+    """Counters and distributions for one bench run."""
+
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    batch_sizes: Counter = field(default_factory=Counter)
+    queue_depths: List[int] = field(default_factory=list)
+
+    arrived: int = 0
+    admitted: int = 0
+    completed_requests: int = 0
+    completed_images: int = 0
+    rejected_queue_full: int = 0
+    expired: int = 0               # deadline passed while queued
+    batches: int = 0
+    empty_flushes: int = 0
+
+    # ------------------------------------------------------------------
+    def record_admission(self, admitted: bool, depth_after: int) -> None:
+        self.arrived += 1
+        if admitted:
+            self.admitted += 1
+        else:
+            self.rejected_queue_full += 1
+        self.queue_depths.append(depth_after)
+
+    def record_batch(self, requests: List[Request],
+                     completion_time: float) -> None:
+        self.batches += 1
+        images = sum(r.size for r in requests)
+        self.batch_sizes[images] += 1
+        for request in requests:
+            request.completion_time = completion_time
+            self.completed_requests += 1
+            self.completed_images += request.size
+            self.latency.record(request.latency)
+            self.queue_wait.record(request.dispatch_time
+                                   - request.arrival_time)
+
+    # ------------------------------------------------------------------
+    def queue_depth_p95(self) -> Optional[int]:
+        if not self.queue_depths:
+            return None
+        return int(percentile([float(d) for d in self.queue_depths], 95))
+
+    def batch_size_summary(self) -> str:
+        if not self.batch_sizes:
+            return "(no batches)"
+        parts = [f"{size} x{count}"
+                 for size, count in sorted(self.batch_sizes.items())]
+        return ", ".join(parts)
+
+    def throughput(self, duration: float) -> Dict[str, float]:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return {
+            "requests_per_s": self.completed_requests / duration,
+            "images_per_s": self.completed_images / duration,
+        }

@@ -1,0 +1,49 @@
+"""Inference requests — the unit of work the serving runtime moves around.
+
+A request asks for ``size`` images to be classified.  Times are simulated
+seconds on the bench's virtual clock (the same clock the cost model and
+GPU simulator price kernels in), so every latency number the runtime
+reports is reproducible without hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """One inference request.
+
+    ``deadline`` is absolute (simulated seconds); a request still queued
+    past its deadline is dropped by the batcher rather than executed —
+    serving a reply the client has given up on wastes capacity that
+    admitted requests could use.
+    """
+
+    id: int
+    arrival_time: float
+    size: int = 1                       # images in this request
+    deadline: Optional[float] = None
+
+    # Filled in by the runtime as the request moves through the pipeline.
+    dispatch_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"request {self.id}: size must be >= 1, "
+                             f"got {self.size}")
+
+    def expired_at(self, now: float) -> bool:
+        """True when the deadline has passed and the work never started."""
+        return self.deadline is not None and now > self.deadline
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time

@@ -1,0 +1,101 @@
+"""Single-process event-driven serving loop on a simulated clock.
+
+Ties the pipeline together: admission queue -> dynamic batcher -> engine.
+The loop is a discrete-event simulation — the only events are request
+arrivals and batch dispatches, and time advances to whichever comes
+first.  One engine models one accelerator: a batch occupies it for the
+plan's simulated latency and the next batch dispatches no earlier than
+``engine_free``.
+
+Determinism is the point: the same arrival trace, flush timeout and
+batch cap produce byte-identical metrics on every machine, which is what
+lets the bench, tests and CI assert on exact counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .batcher import DynamicBatcher
+from .engine import ServingEngine
+from .metrics import ServingMetrics
+from .queue import AdmissionQueue
+from .request import Request
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Queue + batcher + engine, driven by an arrival trace."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        flush_timeout: float = 0.005,
+        queue_depth: int = 256,
+        max_batch_images: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        max_images = max_batch_images if max_batch_images is not None \
+            else engine.max_batch
+        if max_images > engine.max_batch:
+            raise ValueError(
+                f"max_batch_images {max_images} exceeds the engine's "
+                f"discovered maximum {engine.max_batch}"
+            )
+        self.batcher = DynamicBatcher(max_batch_images=max_images,
+                                      flush_timeout=flush_timeout)
+        self.queue = AdmissionQueue(max_depth=queue_depth,
+                                    max_request_size=max_images)
+        self.metrics = ServingMetrics()
+        self.engine_free = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> bool:
+        """Admit one request; ``False`` means rejected (queue full).
+
+        Raises :class:`~repro.serve.queue.OversizeRequestError` for
+        requests no batch can ever carry.
+        """
+        admitted = self.queue.offer(request)
+        self.metrics.record_admission(admitted, len(self.queue))
+        return admitted
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: List[Request]) -> ServingMetrics:
+        """Replay an arrival trace to completion and return the metrics.
+
+        ``arrivals`` must be sorted by ``arrival_time``.  The loop admits
+        every arrival that lands before the next possible dispatch, then
+        dispatches; after the last arrival the queue drains on flush
+        timers alone.
+        """
+        for earlier, later in zip(arrivals, arrivals[1:]):
+            if later.arrival_time < earlier.arrival_time:
+                raise ValueError("arrival trace must be time-sorted")
+        index = 0
+        total = len(arrivals)
+        while index < total or len(self.queue):
+            if not len(self.queue):
+                self.submit(arrivals[index])
+                index += 1
+                continue
+            dispatch_at = max(self.engine_free,
+                              self.batcher.ready_at(self.queue))
+            if index < total and arrivals[index].arrival_time <= dispatch_at:
+                self.submit(arrivals[index])
+                index += 1
+                continue
+            self._dispatch(dispatch_at)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, now: float) -> None:
+        batch = self.batcher.form_batch(self.queue, now, self.metrics)
+        if not batch:
+            # Every waiting request expired before the flush fired.
+            self.metrics.empty_flushes += 1
+            return
+        latency = self.engine.execute(batch)
+        self.engine_free = now + latency
+        self.metrics.record_batch(batch, self.engine_free)

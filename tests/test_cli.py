@@ -23,6 +23,15 @@ class TestParser:
         assert args.scheduler == "layerwise"
         assert args.splits == 9
 
+    def test_serve_bench_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "vgg11", "--rps", "250", "--duration", "2",
+             "--split", "4", "--flush-ms", "2.5", "--deadline-ms", "40"])
+        assert args.model == "vgg11"
+        assert args.rps == 250.0 and args.duration == 2.0
+        assert args.split == 4
+        assert args.flush_ms == 2.5 and args.deadline_ms == 40.0
+
     def test_accuracy_choices(self):
         args = build_parser().parse_args(["accuracy", "depth", "--quick"])
         assert args.experiment == "depth" and args.quick
@@ -66,6 +75,20 @@ class TestCommands:
     def test_unknown_model_errors(self):
         with pytest.raises(ValueError):
             main(["info", "lenet"])
+
+    def test_serve_bench(self, capsys):
+        assert main(["serve-bench", "small_resnet", "--rps", "50",
+                     "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench — small-resnet" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "0 violations" in out
+        assert "batch sizes" in out
+
+    def test_serve_bench_split_model(self, capsys):
+        assert main(["serve-bench", "small_vgg", "--rps", "50",
+                     "--duration", "0.5", "--split", "4"]) == 0
+        assert "split2x2" in capsys.readouterr().out
 
 
 class TestExport:

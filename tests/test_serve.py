@@ -1,0 +1,300 @@
+"""Tests for the serving runtime: queue, batcher, engine, server, bench."""
+
+import numpy as np
+import pytest
+
+from repro.core import to_split_cnn
+from repro.graph import build_inference_graph, build_training_graph
+from repro.hmms import (
+    POOL_DEVICE_PARAM, HMMSPlanner, PlanCache, verify_plan,
+)
+from repro.models import build_model, small_resnet
+from repro.nn import init
+from repro.serve import (
+    AdmissionQueue, BenchConfig, DynamicBatcher, OversizeRequestError,
+    Request, Server, ServingEngine, ServingMetrics, percentile,
+    poisson_arrivals, run_bench,
+)
+
+
+def make_engine(**kwargs) -> ServingEngine:
+    """Small engine: CIFAR-scale model, capacity search capped at 8."""
+    kwargs.setdefault("batch_cap", 8)
+    model = small_resnet(rng=np.random.default_rng(0))
+    return ServingEngine(model, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Inference graphs (builder + planner)
+# ----------------------------------------------------------------------
+class TestInferenceGraph:
+    def test_stops_at_logits_without_backward(self):
+        with init.fast_init():
+            model = build_model("small_vgg")
+        graph = build_inference_graph(model, 4)
+        assert not graph.backward_ops()
+        assert all(op.phase == "forward" for op in graph.ops)
+        assert not any(op.op_type == "cross_entropy" for op in graph.ops)
+        names = {t.name for t in graph.tensors.values()}
+        assert "logits" in names and "loss" not in names
+
+    def test_marks_nothing_saved(self):
+        with init.fast_init():
+            model = build_model("small_vgg")
+        graph = build_inference_graph(model, 4)
+        assert not graph.saved_tensors()
+        training = build_training_graph(model, 4)
+        assert training.saved_tensors()   # the training twin does save
+
+    def test_dropout_vanishes(self):
+        with init.fast_init():
+            model = build_model("vgg11", dataset="imagenet",
+                                num_classes=1000)
+        inference = build_inference_graph(model, 2)
+        assert not any(op.op_type == "dropout" for op in inference.ops)
+        training = build_training_graph(model, 2)
+        assert any(op.op_type == "dropout" for op in training.ops)
+
+    def test_inference_peak_below_training_peak(self):
+        with init.fast_init():
+            model = build_model("small_vgg")
+        planner = HMMSPlanner(scheduler="none")
+        inference = planner.plan(build_inference_graph(model, 8))
+        training = planner.plan(build_training_graph(model, 8))
+        assert inference.device_peak < training.device_peak
+
+    @pytest.mark.parametrize("name", ["alexnet", "vgg11", "resnet18"])
+    @pytest.mark.parametrize("split", [False, True])
+    def test_zoo_inference_plans_verifier_clean(self, name, split):
+        with init.fast_init():
+            model = build_model(name, dataset="imagenet", num_classes=1000)
+            if split:
+                model = to_split_cnn(model, depth=0.5, num_splits=(2, 2))
+        graph = build_inference_graph(model, 4)
+        planner = HMMSPlanner(scheduler="hmms")
+        plan = planner.plan(graph)
+        # Inference planning short-circuits offloading: nothing outlives
+        # the forward pass, so there is nothing to hide a transfer behind.
+        assert plan.offload_fraction_used == 0.0
+        assert not plan.offload_plan.transfers
+        report = verify_plan(plan, device=planner.device,
+                             cost_model=planner.cost_model)
+        assert report.ok, report.render()
+        # No gradient/error TSOs: the device pools hold only forward state.
+        for tso in plan.assignment.tsos.values():
+            kinds = {graph.tensor(t).kind for t in tso.tensor_ids}
+            assert not any("gradient" in kind for kind in kinds)
+            if tso.pool == POOL_DEVICE_PARAM:
+                assert kinds == {"parameter"}
+
+
+# ----------------------------------------------------------------------
+# Queue + batcher edge cases
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_rejects_when_full(self):
+        queue = AdmissionQueue(max_depth=2, max_request_size=8)
+        assert queue.offer(Request(id=0, arrival_time=0.0))
+        assert queue.offer(Request(id=1, arrival_time=0.1))
+        assert not queue.offer(Request(id=2, arrival_time=0.2))
+        assert len(queue) == 2
+
+    def test_oversize_request_raises_with_clear_error(self):
+        queue = AdmissionQueue(max_depth=4, max_request_size=8)
+        with pytest.raises(OversizeRequestError, match="16 images"):
+            queue.offer(Request(id=0, arrival_time=0.0, size=16))
+
+    def test_queue_full_counted_by_server(self):
+        engine = make_engine()
+        server = Server(engine, queue_depth=1)
+        assert server.submit(Request(id=0, arrival_time=0.0))
+        assert not server.submit(Request(id=1, arrival_time=0.0))
+        assert server.metrics.rejected_queue_full == 1
+        assert server.metrics.arrived == 2 and server.metrics.admitted == 1
+
+
+class TestDynamicBatcher:
+    def test_flush_timer_vs_full_batch(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=1.0))
+        assert batcher.ready_at(queue) == pytest.approx(1.01)
+        for i in range(1, 4):
+            queue.offer(Request(id=i, arrival_time=1.0 + i * 1e-3))
+        # Full batch: ready the moment the fourth request was admitted.
+        assert batcher.ready_at(queue) == pytest.approx(1.003)
+
+    def test_batch_respects_image_cap(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        for i in range(3):
+            queue.offer(Request(id=i, arrival_time=0.0, size=2))
+        batch = batcher.form_batch(queue, 0.01, ServingMetrics())
+        assert [r.id for r in batch] == [0, 1]
+        assert len(queue) == 1            # third request waits
+
+    def test_deadline_expiry_while_queued(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        metrics = ServingMetrics()
+        queue.offer(Request(id=0, arrival_time=0.0, deadline=0.004))
+        queue.offer(Request(id=1, arrival_time=0.001))
+        batch = batcher.form_batch(queue, 0.01, metrics)
+        assert [r.id for r in batch] == [1]
+        assert metrics.expired == 1
+
+    def test_empty_flush_on_timeout(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        metrics = ServingMetrics()
+        queue.offer(Request(id=0, arrival_time=0.0, deadline=0.002))
+        batch = batcher.form_batch(queue, 0.01, metrics)
+        assert batch == [] and metrics.expired == 1 and not len(queue)
+
+    def test_server_counts_empty_flushes(self):
+        engine = make_engine()
+        server = Server(engine, flush_timeout=0.01)
+        arrivals = [Request(id=0, arrival_time=0.0, deadline=0.002)]
+        metrics = server.run(arrivals)
+        assert metrics.empty_flushes == 1
+        assert metrics.completed_requests == 0
+        assert engine.executed_batches == 0
+
+
+# ----------------------------------------------------------------------
+# Engine: discovery, bucketing, cache, numeric execution
+# ----------------------------------------------------------------------
+class TestServingEngine:
+    def test_max_batch_discovered_on_dyadic_grid(self):
+        engine = make_engine()
+        assert engine.max_batch == 8      # capped by batch_cap
+        assert engine.bucket(3) == 4 and engine.bucket(4) == 4
+        with pytest.raises(ValueError, match="exceeds the discovered"):
+            engine.bucket(9)
+
+    def test_split_model_discovers_larger_batch(self):
+        # Splitting lowers forward peaks, so against the same 16 GiB
+        # device the split model's discovered serving capacity beats the
+        # unsplit baseline — Figure 10's gain on the serving side.
+        base = ServingEngine.from_zoo("vgg11")
+        split = ServingEngine.from_zoo("vgg11", split=4)
+        assert split.max_batch > base.max_batch
+
+    def test_every_executed_plan_is_verified(self):
+        engine = make_engine()
+        engine.execute([Request(id=0, arrival_time=0.0, size=3)])
+        assert engine.replans == 1
+        assert engine.plans_verified == engine.replans
+
+    def test_steady_state_hits_cache_zero_replans_after_warmup(self):
+        engine = make_engine()
+        config = BenchConfig(rps=200, duration=1.0, flush_timeout=0.002)
+        run_bench(engine, config)
+        warm_plans = engine.replans
+        assert warm_plans > 0
+        metrics = run_bench(engine, BenchConfig(rps=200, duration=1.0,
+                                                flush_timeout=0.002, seed=1))
+        assert engine.replans == warm_plans   # zero replans after warmup
+        assert engine.cache.hits > 0
+        assert metrics.completed_requests > 0
+
+    def test_numeric_execution_returns_logits(self):
+        engine = make_engine(numeric=True)
+        requests = [Request(id=0, arrival_time=0.0, size=2),
+                    Request(id=1, arrival_time=0.0, size=1)]
+        latency = engine.execute(requests)
+        assert latency > 0
+        assert engine.logits_for(requests[0]).shape == (2, 10)
+        assert engine.logits_for(requests[1]).shape == (1, 10)
+        assert np.isfinite(engine.logits_for(requests[0])).all()
+
+    def test_latency_grows_with_bucket(self):
+        engine = make_engine()
+        small = engine.entry_for(1).latency
+        large = engine.entry_for(8).latency
+        assert large > small
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get_or_build("a", lambda: 1) == 1
+        assert cache.get_or_build("a", lambda: 2) == 1
+        assert cache.snapshot() == (1, 1, 1)
+
+    def test_fifo_eviction(self):
+        cache = PlanCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_build(key, lambda k=key: k)
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_rejects_none_values(self):
+        cache = PlanCache()
+        with pytest.raises(ValueError):
+            cache.get_or_build("a", lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Bench loop
+# ----------------------------------------------------------------------
+class TestBench:
+    def test_poisson_trace_is_deterministic(self):
+        config = BenchConfig(rps=100, duration=2.0, seed=7)
+        first = poisson_arrivals(config)
+        second = poisson_arrivals(config)
+        assert [r.arrival_time for r in first] \
+            == [r.arrival_time for r in second]
+        assert all(r.arrival_time < config.duration for r in first)
+
+    def test_bench_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            engine = make_engine()
+            metrics = run_bench(engine, BenchConfig(rps=300, duration=1.0))
+            results.append((metrics.completed_requests, metrics.batches,
+                            metrics.latency.p(99)))
+        assert results[0] == results[1]
+
+    def test_overload_rejects_instead_of_queueing_forever(self):
+        # Single-image batches cap service at ~1/latency req/s; offer far
+        # more and the bounded queue must start rejecting.
+        engine = make_engine()
+        config = BenchConfig(rps=50_000, duration=0.1, queue_depth=16,
+                             flush_timeout=0.0, max_batch_images=1)
+        metrics = run_bench(engine, config)
+        assert metrics.rejected_queue_full > 0
+        assert metrics.completed_requests > 0
+        # Reject-on-full keeps the queue (and so queueing delay) bounded.
+        assert metrics.queue_depth_p95() <= 16
+
+    def test_deadlines_drop_stale_requests(self):
+        engine = make_engine()
+        config = BenchConfig(rps=5000, duration=0.5, deadline=0.002,
+                             flush_timeout=0.005)
+        metrics = run_bench(engine, config)
+        assert metrics.expired > 0
+        completed = metrics.completed_requests
+        assert completed + metrics.expired \
+            + metrics.rejected_queue_full == metrics.arrived
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 100) == 100.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_histogram_buckets(self):
+        from repro.serve import LatencyHistogram
+        hist = LatencyHistogram()
+        hist.record(0.0005)     # <= 1 ms
+        hist.record(0.003)      # <= 4 ms
+        hist.record(5.0)        # > 1024 ms
+        assert hist.buckets[1] == 1
+        assert hist.buckets[4] == 1
+        assert hist.buckets[None] == 1
+        assert "> 1024 ms" in hist.render()
