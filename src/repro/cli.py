@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--numeric", action="store_true",
                        help="also run real numpy forward passes")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="executor threads for --numeric batches "
+                            "(wavefront scheduler; bit-identical logits)")
 
     info = sub.add_parser("info", help="graph statistics for a model")
     info.add_argument("model")
@@ -270,7 +273,8 @@ def _cmd_serve_bench(args) -> int:
 
     engine = ServingEngine.from_zoo(args.model, split=args.split,
                                     split_depth=args.split_depth,
-                                    numeric=args.numeric)
+                                    numeric=args.numeric,
+                                    workers=args.workers)
     config = BenchConfig(
         rps=args.rps,
         duration=args.duration,

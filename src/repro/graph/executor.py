@@ -23,18 +23,55 @@ invoked directly — bit-identical gradient semantics with the autograd
 engine, without re-running the forward kernel inside every backward
 handler.  Pass ``reuse_contexts=False`` to restore the historical
 replay-the-forward behavior (the benchmark baseline).
+
+**Wavefront parallelism** — ``workers=N`` replaces the serialized walk of
+``graph.ops`` with a ready-queue scheduler over the op dependency DAG
+(:meth:`Graph.op_dependencies`): every op whose producers have retired is
+submitted to a ``ThreadPoolExecutor``, so the independent patch chains a
+Split-CNN transform creates (paper §3.2: no inter-patch communication in
+the first-``d`` layers) execute concurrently.  numpy's BLAS-backed
+kernels release the GIL, so the threads genuinely overlap on multicore
+hosts.  Results are bit-identical to serial execution for any worker
+count because
+
+- every op reads and writes *fixed* tensors — in particular the
+  ``grad_acc`` accumulation chains emitted by the backward generator fix
+  the gradient reduction order structurally, independent of the order in
+  which contributions complete;
+- dropout masks are drawn from per-op seeded streams
+  (``(dropout_seed, op.id)``), not from shared RNG state;
+- the final gradient of a multiply-consumed parameter is selected by
+  following the ``grad_acc`` chain to its structural end, never by
+  tensor-id ordering.
+
+**Eager value release** — with ``eager_free`` (the default) each
+intermediate value is dropped as soon as its last consumer retires, using
+the refcount schedule of :func:`~repro.graph.liveness.compute_free_plan`;
+saved forward contexts are likewise dropped once every backward op of
+their forward op has run.  Peak executor memory then tracks the graph's
+true liveness profile instead of holding one whole step.  Pass
+``eager_free=False`` to keep every value and context until the next run
+(the §4.3 profiling loop re-times individual ops after a run and needs
+them all).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .ir import Graph, OpNode
+from .liveness import compute_free_plan
 from .registry import op_def
 
 __all__ = ["GraphExecutor"]
+
+#: Tensor names whose values are run outputs (never freed eagerly).
+_OUTPUT_NAMES = ("loss", "logits")
 
 
 class GraphExecutor:
@@ -52,13 +89,35 @@ class GraphExecutor:
         its backward twin (default).  ``False`` replays the forward kernel
         inside every backward handler instead — the pre-registry behavior,
         kept for the ``benchmarks/test_executor_replay.py`` comparison.
+        Incompatible with ``workers > 1`` (replay re-executes forward
+        kernels at unpredictable times) and disables ``eager_free``
+        (replay re-reads forward inputs long after their last graph-level
+        consumer).
+    workers: number of threads for wavefront execution.  ``1`` (default)
+        walks ``graph.ops`` serially; ``N > 1`` executes every
+        dependency-satisfied op concurrently with bit-identical results.
+    eager_free: drop each intermediate value after its last consumer op
+        retires (and each saved context after its last backward twin).
+        ``False`` keeps everything live until the next :meth:`run` or
+        :meth:`release_intermediates`.
     """
 
     def __init__(self, graph: Graph, parameters: Dict[str, np.ndarray],
-                 dropout_seed: int = 0, reuse_contexts: bool = True) -> None:
+                 dropout_seed: int = 0, reuse_contexts: bool = True,
+                 workers: int = 1, eager_free: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and not reuse_contexts:
+            raise ValueError(
+                "workers > 1 requires reuse_contexts=True: forward replay "
+                "re-executes forward kernels from backward handlers, which "
+                "races under concurrent execution"
+            )
         self.graph = graph
         self.dropout_seed = dropout_seed
         self.reuse_contexts = reuse_contexts
+        self.workers = workers
+        self.eager_free = eager_free and reuse_contexts
         self.targets: Optional[np.ndarray] = None
         self.values: Dict[int, np.ndarray] = {}
         self._contexts: Dict[int, Any] = {}
@@ -75,6 +134,20 @@ class GraphExecutor:
                     )
                 self.values[tensor.id] = array
                 self._param_names[tensor.id] = tensor.name
+        self._outputs_by_name = {
+            t.name: t.id for t in graph.tensors.values()
+            if t.name in _OUTPUT_NAMES
+        }
+        self._final_grads = self._resolve_final_gradients()
+        self._pinned = frozenset(
+            set(self._param_names)
+            | set(self._outputs_by_name.values())
+            | set(self._final_grads.values())
+        )
+        # Lazily built, graph-static: (value refcounts, op -> tensors it
+        # consumes, forward op -> number of backward ops referencing it).
+        self._free_template: Optional[
+            Tuple[Dict[int, int], Dict[int, List[int]], Dict[int, int]]] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -105,12 +178,49 @@ class GraphExecutor:
         return mapping
 
     # ------------------------------------------------------------------
+    def _resolve_final_gradients(self) -> Dict[str, int]:
+        """Map each parameter name to the tensor id of its total gradient.
+
+        A parameter consumed by several forward ops (split patches, weight
+        sharing) accumulates through a chain of ``grad_acc`` ops.  The
+        total is the chain's *structural* end: the gradient tensor that no
+        further ``grad_acc`` op folds into another gradient of the same
+        parameter.  Selecting by tensor id (the historical
+        ``max(finals, key=id)``) silently breaks whenever a transform or
+        re-serialization renumbers tensors — ids carry no semantics.
+        """
+        finals: Dict[str, int] = {}
+        for param_name in self._param_names.values():
+            names = (f"grad({param_name})", f"grad_acc({param_name})")
+            candidates = [t for t in self.graph.tensors.values()
+                          if t.kind == "gradient" and t.name in names]
+            if not candidates:
+                continue
+            candidate_ids = {t.id for t in candidates}
+            merged = set()
+            for tensor in candidates:
+                for op_id in set(tensor.consumers):
+                    op = self.graph.op_by_id(op_id)
+                    if op.op_type == "grad_acc" and any(
+                            out_id in candidate_ids for out_id in op.outputs):
+                        merged.add(tensor.id)
+            tails = [t for t in candidates if t.id not in merged]
+            if len(tails) != 1:
+                raise ValueError(
+                    f"gradient accumulation chain for {param_name!r} has "
+                    f"{len(tails)} tails, expected exactly one"
+                )
+            finals[param_name] = tails[0].id
+        return finals
+
+    # ------------------------------------------------------------------
     def release_intermediates(self) -> None:
         """Drop every non-parameter value and all saved contexts.
 
         Repeated :meth:`run` calls (the §4.3 profiling loop) would
         otherwise keep every activation, gradient, and forward context of
-        every step live.
+        every step live.  With ``eager_free`` most of this already
+        happened during the run; this clears the run outputs too.
         """
         self.values = {tensor_id: array
                        for tensor_id, array in self.values.items()
@@ -132,24 +242,119 @@ class GraphExecutor:
         self.values[input_tensor.id] = np.asarray(input_array,
                                                   dtype=np.float64)
         self.targets = targets
+        if self.workers > 1:
+            self._run_wavefront()
+        else:
+            self._run_serial()
+        outputs: Dict[str, np.ndarray] = {}
+        for name, tensor_id in self._outputs_by_name.items():
+            outputs[name] = self.values[tensor_id]
+        for param_name, tensor_id in self._final_grads.items():
+            outputs[f"grad({param_name})"] = self.values[tensor_id]
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _fresh_free_state(self):
+        """Per-run copies of the freeing refcounts (``None`` if disabled)."""
+        if not self.eager_free:
+            return None, None, None
+        if self._free_template is None:
+            counts, consumed_by_op = compute_free_plan(
+                self.graph, pinned=self._pinned)
+            twins = Counter(op.forward_of for op in self.graph.ops
+                            if op.forward_of is not None)
+            self._free_template = (counts, consumed_by_op, dict(twins))
+        counts, consumed_by_op, twins = self._free_template
+        return dict(counts), consumed_by_op, dict(twins)
+
+    def _retire(self, op: OpNode, counts, consumed_by_op, ctx_left) -> None:
+        """Free values and contexts made dead by ``op`` completing.
+
+        Callers serialize calls (the wavefront holds its scheduler lock),
+        so plain dict updates are safe.
+        """
+        for tensor_id in consumed_by_op.get(op.id, ()):
+            left = counts[tensor_id] - 1
+            counts[tensor_id] = left
+            if left == 0:
+                self.values.pop(tensor_id, None)
+        if op.forward_of is not None:
+            left = ctx_left.get(op.forward_of)
+            if left is not None:
+                left -= 1
+                ctx_left[op.forward_of] = left
+                if left == 0:
+                    self._contexts.pop(op.forward_of, None)
+
+    def _run_serial(self) -> None:
+        counts, consumed_by_op, ctx_left = self._fresh_free_state()
         for op in self.graph.ops:
             self.execute_op(op)
-        outputs: Dict[str, np.ndarray] = {}
-        for tensor in self.graph.tensors.values():
-            if tensor.name in ("loss", "logits"):
-                outputs[tensor.name] = self.values[tensor.id]
-        # Final parameter gradients: a parameter used by several forward
-        # ops (split patches, weight sharing) accumulates through a chain
-        # of grad_acc tensors; the one with the highest id is the total.
-        for param_id, param_name in self._param_names.items():
-            finals = [t for t in self.graph.tensors.values()
-                      if t.kind == "gradient"
-                      and t.name in (f"grad({param_name})",
-                                     f"grad_acc({param_name})")]
-            if finals:
-                final = max(finals, key=lambda t: t.id)
-                outputs[f"grad({param_name})"] = self.values[final.id]
-        return outputs
+            if counts is not None:
+                self._retire(op, counts, consumed_by_op, ctx_left)
+
+    def _run_wavefront(self) -> None:
+        """Ready-queue execution of the op DAG on a thread pool.
+
+        Every op whose dependencies (:meth:`Graph.op_dependencies`) have
+        retired is submitted immediately; completion retires it under one
+        scheduler lock, releasing dead values and newly-ready successors.
+        Kernels themselves run outside the lock — that is where the BLAS
+        time goes and where the GIL is released.
+        """
+        graph = self.graph
+        deps = graph.op_dependencies()
+        dependents: Dict[int, List[int]] = {}
+        for op_id, op_deps in deps.items():
+            for dep in op_deps:
+                dependents.setdefault(dep, []).append(op_id)
+        remaining = {op_id: len(op_deps) for op_id, op_deps in deps.items()}
+        by_id = {op.id: op for op in graph.ops}
+        counts, consumed_by_op, ctx_left = self._fresh_free_state()
+        lock = threading.Lock()
+        done = threading.Event()
+        failures: List[BaseException] = []
+        ops_left = len(graph.ops)
+
+        def finish(op: OpNode) -> None:
+            nonlocal ops_left
+            ready_next: List[OpNode] = []
+            with lock:
+                if counts is not None:
+                    self._retire(op, counts, consumed_by_op, ctx_left)
+                for dep_id in dependents.get(op.id, ()):
+                    remaining[dep_id] -= 1
+                    if remaining[dep_id] == 0:
+                        ready_next.append(by_id[dep_id])
+                ops_left -= 1
+                if ops_left == 0:
+                    done.set()
+            for next_op in ready_next:
+                pool.submit(task, next_op)
+
+        def task(op: OpNode) -> None:
+            if failures:
+                return
+            try:
+                self.execute_op(op)
+            except BaseException as exc:  # surfaced to the caller below
+                failures.append(exc)
+                done.set()
+                return
+            finish(op)
+
+        initial = [op for op in graph.ops if remaining[op.id] == 0]
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            for op in initial:
+                pool.submit(task, op)
+            done.wait()
+        finally:
+            pool.shutdown(wait=True)
+        if failures:
+            raise failures[0]
 
     # ------------------------------------------------------------------
     def execute_op(self, op: OpNode) -> None:

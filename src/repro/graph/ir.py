@@ -131,6 +131,28 @@ class Graph:
     def tensor(self, tensor_id: int) -> TensorValue:
         return self.tensors[tensor_id]
 
+    def op_dependencies(self) -> Dict[int, set]:
+        """Op-level dependency DAG of the serialized graph.
+
+        Maps each op id to the set of op ids that must run before it: the
+        producers of its input tensors plus, for backward ops, the forward
+        op whose saved kernel context they consume (``forward_of``).  Any
+        execution order that respects these edges — including concurrent
+        execution of ops whose edges are satisfied — computes the same
+        values as the serialized order.
+        """
+        deps: Dict[int, set] = {}
+        for op in self.ops:
+            current: set = set()
+            for tensor_id in op.inputs:
+                producer = self.tensors[tensor_id].producer
+                if producer is not None and producer != op.id:
+                    current.add(producer)
+            if op.forward_of is not None:
+                current.add(op.forward_of)
+            deps[op.id] = current
+        return deps
+
     def forward_ops(self) -> List[OpNode]:
         return [op for op in self.ops if op.phase == "forward"]
 

@@ -8,11 +8,11 @@ eligibility (§4.3) and static pool allocation (§4.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .ir import Graph
 
-__all__ = ["Lifetime", "compute_lifetimes"]
+__all__ = ["Lifetime", "compute_lifetimes", "compute_free_plan"]
 
 
 @dataclass
@@ -64,3 +64,37 @@ def compute_lifetimes(graph: Graph) -> Dict[int, Lifetime]:
         lifetime.use_indices = sorted(position[op_id] for op_id in tensor.consumers)
         lifetimes[tensor.id] = lifetime
     return lifetimes
+
+
+def compute_free_plan(
+    graph: Graph, pinned: FrozenSet[int] = frozenset(),
+) -> Tuple[Dict[int, int], Dict[int, List[int]]]:
+    """Refcount schedule for freeing tensor values as soon as they are dead.
+
+    Derived from :func:`compute_lifetimes`: a tensor's value may be dropped
+    once every op that consumes it has executed.  Counting *ops left to
+    run* instead of serialized positions makes the plan valid for any
+    execution order that respects :meth:`Graph.op_dependencies` — the
+    wavefront executor retires consumers out of serialized order.
+
+    Returns ``(counts, consumed_by_op)``: ``counts[tensor_id]`` is the
+    number of distinct consumer ops, ``consumed_by_op[op_id]`` the tensors
+    whose count an op's completion decrements.  Tensors in ``pinned`` and
+    tensors with no consumers (run outputs, dead ends) are excluded — they
+    stay live until :meth:`GraphExecutor.release_intermediates`.
+    """
+    lifetimes = compute_lifetimes(graph)
+    position_to_op = [op.id for op in graph.ops]
+    counts: Dict[int, int] = {}
+    consumed_by_op: Dict[int, List[int]] = {}
+    for tensor in graph.tensors.values():
+        if tensor.id in pinned:
+            continue
+        uses = lifetimes[tensor.id].use_indices
+        if not uses:
+            continue
+        consumer_ops = {position_to_op[index] for index in uses}
+        counts[tensor.id] = len(consumer_ops)
+        for op_id in consumer_ops:
+            consumed_by_op.setdefault(op_id, []).append(tensor.id)
+    return counts, consumed_by_op

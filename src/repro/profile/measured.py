@@ -38,6 +38,9 @@ class MeasuredCostModel(CostModel):
         :meth:`GraphExecutor.parameters_from_model`).
     input_array / targets: one representative batch.
     repetitions: timing repetitions per op (paper uses 20).
+    workers: thread count for the materialization run (the per-op timing
+        loop is always serial — concurrent timing would measure
+        contention, not kernels).
     device: still used for bandwidth figures (offload budgets) and for
         ops the executor cannot time.
     """
@@ -49,26 +52,28 @@ class MeasuredCostModel(CostModel):
         input_array: np.ndarray,
         targets: Optional[np.ndarray] = None,
         repetitions: int = DEFAULT_REPETITIONS,
+        workers: int = 1,
         device: DeviceSpec = P100_NVLINK,
     ) -> None:
         super().__init__(device)
         if repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {repetitions}")
         self.repetitions = repetitions
+        self.workers = workers
         self._measured: Dict[int, float] = {}
         self._measure(graph, parameters, input_array, targets)
 
     # ------------------------------------------------------------------
     def _measure(self, graph: Graph, parameters, input_array, targets) -> None:
-        executor = GraphExecutor(graph, parameters)
-        input_tensor = next(t for t in graph.tensors.values()
-                            if t.kind == "input")
-        executor.values[input_tensor.id] = np.asarray(input_array,
-                                                      dtype=np.float64)
-        executor.targets = targets
+        # One full run materializes every value and forward context
+        # (eager_free stays off — the timing loop below re-reads all of
+        # them); the run itself may use the wavefront scheduler.
+        executor = GraphExecutor(graph, parameters, workers=self.workers,
+                                 eager_free=False)
+        executor.run(input_array, targets)
         for op in graph.ops:
-            # Execute once to materialize outputs (and warm caches), then
-            # time `repetitions` re-executions, exactly as §4.3 describes.
+            # Execute once to warm caches, then time `repetitions`
+            # re-executions, exactly as §4.3 describes.
             executor.execute_op(op)
             started = time.perf_counter()
             for _ in range(self.repetitions):

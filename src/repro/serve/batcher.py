@@ -15,7 +15,7 @@ arrival trace always produces the same batches.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .metrics import ServingMetrics
 from .queue import AdmissionQueue
@@ -41,16 +41,34 @@ class DynamicBatcher:
     def ready_at(self, queue: AdmissionQueue) -> float:
         """Earliest simulated time a batch may be dispatched.
 
-        With a full batch queued that moment has already passed (the
-        admission that crossed the threshold); otherwise it is the flush
-        timer of the oldest waiting request.
+        With a full batch queued that moment has already passed — it is
+        the admission that *crossed* the ``max_batch_images`` threshold,
+        not the latest admission: requests admitted after the crossing
+        must not drift the dispatch timestamp later.  Otherwise it is the
+        flush timer of the oldest waiting request.
         """
         oldest = queue.oldest_arrival
         if oldest is None:
             raise ValueError("ready_at on an empty queue")
-        if queue.pending_images >= self.max_batch_images:
-            return queue.last_admit_time
+        crossing = self._full_batch_crossing(queue)
+        if crossing is not None:
+            return crossing
         return oldest + self.flush_timeout
+
+    def _full_batch_crossing(self, queue: AdmissionQueue) -> Optional[float]:
+        """Admission time of the request that completed a full batch.
+
+        Scans the FIFO in admission order accumulating sizes; the first
+        request to push the running total to ``max_batch_images`` is the
+        crossing (its ``arrival_time`` is its admission time — the queue
+        admits synchronously).  ``None`` when no full batch is queued.
+        """
+        images = 0
+        for request in queue:
+            images += request.size
+            if images >= self.max_batch_images:
+                return request.arrival_time
+        return None
 
     # ------------------------------------------------------------------
     def form_batch(self, queue: AdmissionQueue, now: float,

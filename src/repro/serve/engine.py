@@ -64,6 +64,9 @@ class ServingEngine:
     numeric: also run each batch through the numeric graph executor —
         real logits, for tests and correctness spot-checks; simulated
         latency is charged either way.
+    workers: thread count for the numeric executor's wavefront scheduler
+        (bit-identical logits for any value; only matters with
+        ``numeric``).
     batch_cap: upper bound for the capacity search (keeps discovery
         bounded for models far smaller than the device).
     """
@@ -75,6 +78,7 @@ class ServingEngine:
         scheduler: str = "none",
         verify_plans: bool = True,
         numeric: bool = False,
+        workers: int = 1,
         batch_cap: int = 4096,
         cache_capacity: int = 64,
         seed: int = 0,
@@ -86,6 +90,9 @@ class ServingEngine:
         self.planner = HMMSPlanner(device=device, scheduler=scheduler)
         self.verify_plans = verify_plans
         self.numeric = numeric
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self.batch_cap = batch_cap
         self.cache = PlanCache(capacity=cache_capacity)
         self.plans_verified = 0
@@ -140,7 +147,8 @@ class ServingEngine:
         executor = None
         if self.numeric:
             executor = GraphExecutor(
-                graph, GraphExecutor.parameters_from_model(graph, self.model))
+                graph, GraphExecutor.parameters_from_model(graph, self.model),
+                workers=self.workers)
         return CachedBatchPlan(batch=batch, graph=graph, plan=plan,
                                latency=latency, executor=executor)
 

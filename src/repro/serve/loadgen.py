@@ -69,7 +69,11 @@ def run_bench(engine: ServingEngine,
         queue_depth=config.queue_depth,
         max_batch_images=config.max_batch_images,
     )
-    return server.run(poisson_arrivals(config))
+    metrics = server.run(poisson_arrivals(config))
+    # Every arrival must land in exactly one bucket; an imbalance here is
+    # a runtime bug, not a workload property.
+    metrics.check_accounting(still_queued=len(server.queue))
+    return metrics
 
 
 # ----------------------------------------------------------------------

@@ -119,6 +119,25 @@ class ServingMetrics:
                                    - request.arrival_time)
 
     # ------------------------------------------------------------------
+    def check_accounting(self, still_queued: int = 0) -> None:
+        """Assert that every arrived request is accounted for exactly once.
+
+        ``arrived == rejected_queue_full + expired + completed_requests +
+        still_queued`` — any imbalance means the runtime lost or
+        double-counted a request.  Raises ``AssertionError`` with both
+        sides spelled out; the bench driver calls this after every run.
+        """
+        accounted = (self.rejected_queue_full + self.expired
+                     + self.completed_requests + still_queued)
+        if self.arrived != accounted:
+            raise AssertionError(
+                f"request accounting imbalance: arrived={self.arrived} but "
+                f"rejected_queue_full={self.rejected_queue_full} + "
+                f"expired={self.expired} + "
+                f"completed={self.completed_requests} + "
+                f"still_queued={still_queued} = {accounted}"
+            )
+
     def queue_depth_p95(self) -> Optional[int]:
         if not self.queue_depths:
             return None

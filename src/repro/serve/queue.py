@@ -44,7 +44,6 @@ class AdmissionQueue:
         self.max_depth = max_depth
         self.max_request_size = max_request_size
         self._requests: Deque[Request] = deque()
-        self._last_admit_time = 0.0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -60,10 +59,6 @@ class AdmissionQueue:
     @property
     def oldest_arrival(self) -> Optional[float]:
         return self._requests[0].arrival_time if self._requests else None
-
-    @property
-    def last_admit_time(self) -> float:
-        return self._last_admit_time
 
     @property
     def full(self) -> bool:
@@ -86,7 +81,6 @@ class AdmissionQueue:
         if self.full:
             return False
         self._requests.append(request)
-        self._last_admit_time = request.arrival_time
         return True
 
     def pop(self) -> Request:

@@ -39,7 +39,14 @@ class Request:
                              f"got {self.size}")
 
     def expired_at(self, now: float) -> bool:
-        """True when the deadline has passed and the work never started."""
+        """True when the deadline has passed and the work never started.
+
+        The comparison is *strictly* greater: a request dispatched exactly
+        at its deadline is still served.  The deadline names the last
+        instant the client accepts work starting, so the boundary belongs
+        to the request — pinned by the boundary tests in
+        ``tests/test_serve.py``, do not flip it to ``>=`` casually.
+        """
         return self.deadline is not None and now > self.deadline
 
     @property

@@ -146,3 +146,75 @@ class TestMeasuredCostModel:
         graph, _ = measured_setup
         with pytest.raises(ValueError):
             MeasuredCostModel(graph, {}, np.zeros(1), repetitions=0)
+
+
+class TestFinalGradientResolution:
+    """The total gradient of a multiply-consumed parameter is the
+    structural end of its grad_acc chain — not the highest tensor id.
+    Ids carry no semantics; a renumbered-but-valid graph must still
+    yield the right gradients."""
+
+    @staticmethod
+    def _renumber_tensors_descending(graph):
+        """Remap tensor ids to max_id - old_id (a valid bijection that
+        reverses every id-ordering relation)."""
+        max_id = max(graph.tensors)
+        mapping = {old: max_id - old for old in graph.tensors}
+        graph.tensors = {mapping[old]: tensor
+                         for old, tensor in graph.tensors.items()}
+        for tensor in graph.tensors.values():
+            tensor.id = mapping[tensor.id]
+        for op in graph.ops:
+            op.inputs = [mapping[i] for i in op.inputs]
+            op.outputs = [mapping[i] for i in op.outputs]
+            op.saved = [mapping[i] for i in op.saved]
+            if op.inplace_of is not None:
+                op.inplace_of = mapping[op.inplace_of]
+        return graph
+
+    @pytest.fixture()
+    def split_case(self):
+        rng = np.random.default_rng(3)
+        base = small_vgg(num_classes=4, rng=rng)
+        model = to_split_cnn(base, depth=0.5, num_splits=(2, 2))
+        x = rng.standard_normal((2, 3, 32, 32))
+        y = np.array([0, 2])
+        return model, x, y
+
+    def test_renumbered_graph_yields_identical_gradients(self, split_case):
+        model, x, y = split_case
+        graph = build_training_graph(model, 2)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        pristine = GraphExecutor(graph, params).run(x, y)
+
+        renumbered = self._renumber_tensors_descending(
+            build_training_graph(model, 2))
+        renumbered.validate()            # still a well-formed graph
+        for workers in (1, 4):
+            outputs = GraphExecutor(renumbered, params,
+                                    workers=workers).run(x, y)
+            assert pristine.keys() == outputs.keys()
+            for key in pristine:
+                assert pristine[key].tobytes() == outputs[key].tobytes()
+
+    def test_max_id_heuristic_would_pick_a_partial_gradient(self, split_case):
+        """The bug the structural resolution fixes: after renumbering,
+        the highest-id candidate is a partial contribution, not the
+        accumulated total."""
+        model, x, y = split_case
+        graph = self._renumber_tensors_descending(
+            build_training_graph(model, 2))
+        executor = GraphExecutor(
+            graph, GraphExecutor.parameters_from_model(
+                build_training_graph(model, 2), model))
+        mismatch = 0
+        for param_name, tail_id in executor._final_grads.items():
+            names = (f"grad({param_name})", f"grad_acc({param_name})")
+            candidates = [t for t in graph.tensors.values()
+                          if t.kind == "gradient" and t.name in names]
+            by_max_id = max(candidates, key=lambda t: t.id)
+            if by_max_id.id != tail_id:
+                mismatch += 1
+        # The split model shares every split-region conv parameter across
+        # patches, so at least those chains expose the difference.
+        assert mismatch > 0

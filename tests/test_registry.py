@@ -112,8 +112,9 @@ class TestDropoutSeeding:
                 for op in graph.forward_ops() if op.op_type == "dropout"]
 
     def test_distinct_layers_draw_distinct_masks(self, setup):
+        # eager_free=False: the masks are inspected after the run.
         graph, params, x, y = setup
-        executor = GraphExecutor(graph, params)
+        executor = GraphExecutor(graph, params, eager_free=False)
         executor.run(x, y)
         masks = self._masks(graph, executor)
         assert len(masks) == 2
@@ -122,9 +123,9 @@ class TestDropoutSeeding:
 
     def test_masks_deterministic_per_seed(self, setup):
         graph, params, x, y = setup
-        first = GraphExecutor(graph, params, dropout_seed=7)
-        second = GraphExecutor(graph, params, dropout_seed=7)
-        other = GraphExecutor(graph, params, dropout_seed=8)
+        first = GraphExecutor(graph, params, dropout_seed=7, eager_free=False)
+        second = GraphExecutor(graph, params, dropout_seed=7, eager_free=False)
+        other = GraphExecutor(graph, params, dropout_seed=8, eager_free=False)
         first.run(x, y)
         second.run(x, y)
         other.run(x, y)

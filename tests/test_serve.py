@@ -298,3 +298,108 @@ class TestMetrics:
         assert hist.buckets[4] == 1
         assert hist.buckets[None] == 1
         assert "> 1024 ms" in hist.render()
+
+
+# ----------------------------------------------------------------------
+# Dispatch timestamps, deadline boundary, request accounting
+# ----------------------------------------------------------------------
+class TestFullBatchCrossingTime:
+    def test_admissions_past_threshold_do_not_drift_ready_at(self):
+        # Four size-1 requests fill the batch at 1.003; two stragglers
+        # admitted much later must not move the dispatch timestamp.
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        for i in range(4):
+            queue.offer(Request(id=i, arrival_time=1.0 + i * 1e-3))
+        assert batcher.ready_at(queue) == pytest.approx(1.003)
+        queue.offer(Request(id=4, arrival_time=1.5))
+        queue.offer(Request(id=5, arrival_time=2.0))
+        assert batcher.ready_at(queue) == pytest.approx(1.003)
+
+    def test_crossing_is_the_request_that_completes_the_batch(self):
+        # Sizes 3 + 2 cross a 4-image threshold at the second admission,
+        # even though a third request arrives afterwards.
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=0.1, size=3))
+        queue.offer(Request(id=1, arrival_time=0.5, size=2))
+        queue.offer(Request(id=2, arrival_time=0.9, size=1))
+        assert batcher.ready_at(queue) == pytest.approx(0.5)
+
+    def test_partial_batch_still_uses_flush_timer(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=1.0))
+        queue.offer(Request(id=1, arrival_time=1.2))
+        assert batcher.ready_at(queue) == pytest.approx(1.01)
+
+
+class TestDeadlineBoundary:
+    """Pinned semantics: the deadline instant itself is still servable
+    (``expired_at`` is strictly greater-than)."""
+
+    def test_expired_at_is_strict(self):
+        request = Request(id=0, arrival_time=0.0, deadline=5.0)
+        assert not request.expired_at(4.999)
+        assert not request.expired_at(5.0)
+        assert request.expired_at(5.0 + 1e-9)
+
+    def test_no_deadline_never_expires(self):
+        request = Request(id=0, arrival_time=0.0)
+        assert not request.expired_at(float("inf"))
+
+    def test_dispatch_exactly_at_deadline_is_served(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        metrics = ServingMetrics()
+        queue.offer(Request(id=0, arrival_time=0.0, deadline=0.01))
+        batch = batcher.form_batch(queue, 0.01, metrics)
+        assert [r.id for r in batch] == [0]
+        assert metrics.expired == 0
+
+
+class TestRequestAccounting:
+    """arrived == rejected_queue_full + expired + completed + still_queued
+    after every bench run — enforced inside run_bench via
+    ServingMetrics.check_accounting."""
+
+    def test_check_accounting_raises_on_imbalance(self):
+        metrics = ServingMetrics()
+        metrics.arrived = 3
+        metrics.completed_requests = 1
+        with pytest.raises(AssertionError, match="accounting imbalance"):
+            metrics.check_accounting()
+        metrics.check_accounting(still_queued=2)   # balanced: no raise
+
+    @pytest.mark.parametrize("config", [
+        BenchConfig(rps=300, duration=1.0),
+        BenchConfig(rps=50_000, duration=0.1, queue_depth=16,
+                    flush_timeout=0.0, max_batch_images=1),
+        BenchConfig(rps=5000, duration=0.5, deadline=0.002,
+                    flush_timeout=0.005),
+    ])
+    def test_invariant_holds_across_bench_regimes(self, config):
+        # run_bench calls check_accounting itself; re-check explicitly so
+        # the invariant is asserted even if the driver changes.
+        metrics = run_bench(make_engine(), config)
+        metrics.check_accounting(still_queued=0)
+        assert metrics.arrived == (metrics.rejected_queue_full
+                                   + metrics.expired
+                                   + metrics.completed_requests)
+
+
+class TestEngineParallelExecutor:
+    def test_workers_produce_byte_identical_logits(self):
+        serial = make_engine(numeric=True)
+        parallel = make_engine(numeric=True, workers=4)
+        requests = [Request(id=0, arrival_time=0.0, size=2),
+                    Request(id=1, arrival_time=0.0, size=1)]
+        serial.execute(requests)
+        parallel.execute(requests)
+        for request in requests:
+            assert serial.logits_for(request).tobytes() \
+                == parallel.logits_for(request).tobytes()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_engine(workers=0)
