@@ -1,0 +1,86 @@
+"""repro.analysis — whole-graph static analyzer.
+
+Three passes over a serialized :class:`~repro.graph.ir.Graph`:
+
+- **graph-lint** (``SCA0xx``): structural integrity, registry shape
+  re-inference, dead ops, orphan tensors, dangling references,
+  inference-graph purity;
+- **concurrency** (``SCA1xx``): may-happen-in-parallel hazards of the
+  wavefront executor against the HMMS storage plan — TSO write/write
+  and read/write conflicts, eager-free use-after-free;
+- **determinism** (``SCA2xx``): frozen gradient reductions and unique
+  per-op seeds for stochastic ops.
+
+Entry points: :func:`analyze_graph` (library), ``repro lint`` (CLI),
+``GraphExecutor(..., preflight=True)`` (executor guard).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..graph.ir import Graph
+from ..hmms.storage import StorageAssignment, assign_storage
+from .determinism import audit_determinism
+from .diagnostics import (
+    CODES, PASS_DETERMINISM, PASS_LINT, PASS_RACES, SEV_ERROR, SEV_WARNING,
+    AnalysisReport, Diagnostic, DiagnosticSpec, GraphAnalysisError,
+)
+from .lint import lint_graph
+from .races import ancestor_masks, detect_races
+
+__all__ = [
+    "analyze_graph", "lint_graph", "detect_races", "audit_determinism",
+    "ancestor_masks",
+    "AnalysisReport", "Diagnostic", "DiagnosticSpec", "GraphAnalysisError",
+    "CODES", "SEV_ERROR", "SEV_WARNING",
+    "PASS_LINT", "PASS_RACES", "PASS_DETERMINISM", "ALL_PASSES",
+]
+
+ALL_PASSES = (PASS_LINT, PASS_RACES, PASS_DETERMINISM)
+
+
+def analyze_graph(
+    graph: Graph,
+    *,
+    assignment: Optional[StorageAssignment] = None,
+    workers: int = 4,
+    inference: bool = False,
+    passes: Sequence[str] = ALL_PASSES,
+) -> AnalysisReport:
+    """Run the static analyzer over ``graph`` and return a report.
+
+    ``assignment`` defaults to a fresh :func:`assign_storage` run with
+    the paper's optimizations on — the same plan the executor and HMMS
+    use.  ``workers`` selects the happens-before model the concurrency
+    pass checks against: >1 means DAG reachability (the wavefront
+    executor), 1 means the total serialized order.  ``inference=True``
+    additionally enforces inference-graph purity and skips the
+    (training-only) determinism audit.
+
+    The report never raises; call :meth:`AnalysisReport.raise_if_failed`
+    to turn error-severity findings into :class:`GraphAnalysisError`.
+    """
+    unknown = [p for p in passes if p not in ALL_PASSES]
+    if unknown:
+        raise ValueError(
+            f"unknown analysis pass(es) {unknown}; valid: {list(ALL_PASSES)}")
+
+    findings = []
+    if PASS_LINT in passes:
+        findings.extend(lint_graph(graph, inference=inference))
+    if PASS_RACES in passes:
+        if assignment is None:
+            assignment = assign_storage(graph)
+        findings.extend(detect_races(graph, assignment, workers=workers))
+    if PASS_DETERMINISM in passes and not inference:
+        findings.extend(audit_determinism(graph))
+
+    return AnalysisReport(
+        graph_name=graph.name,
+        num_ops=len(graph.ops),
+        num_tensors=len(graph.tensors),
+        workers=workers,
+        passes=tuple(p for p in ALL_PASSES if p in passes),
+        findings=findings,
+    )

@@ -13,18 +13,28 @@ is reproducible from a shell:
     python -m repro verify-plan vgg19    # static plan verification
     python -m repro info resnet50 -b 64  # graph statistics
 
-plus the serving-side bench:
+plus the serving-side bench and the static analyzer:
 
     python -m repro serve-bench vgg11 --rps 100 --duration 5
+    python -m repro lint vgg11 -b 16 --workers 4
+
+Exit codes are uniform across commands: ``0`` clean, ``1`` the command
+ran but found problems (plan violations, lint errors, zero completed
+requests), ``2`` usage or internal error (matching argparse).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+class _UsageError(Exception):
+    """Bad command-line input — reported on stderr, exit code 2."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="executor threads for --numeric batches "
                             "(wavefront scheduler; bit-identical logits)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: graph lint, race detector, determinism audit")
+    lint.add_argument("model")
+    lint.add_argument("-b", "--batch", type=int, default=16)
+    lint.add_argument("--split", type=int, default=1,
+                      help="total patches (1,2,3,4,6,9); 1 = unsplit")
+    lint.add_argument("--split-depth", type=float, default=0.5)
+    lint.add_argument("--workers", type=int, default=4,
+                      help="happens-before model the concurrency pass "
+                           "checks: >1 = DAG reachability (wavefront "
+                           "executor), 1 = serialized order")
+    lint.add_argument("--inference", action="store_true",
+                      help="lint the inference graph (purity enforced)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (sarif = SARIF 2.1.0 JSON)")
 
     info = sub.add_parser("info", help="graph statistics for a model")
     info.add_argument("model")
@@ -216,11 +244,14 @@ def _build_named_model(name: str, depth: float, splits: int):
     if name in ("vgg11", "resnet18", "resnet34"):
         kwargs = {"dataset": "imagenet", "num_classes": 1000}
     with init.fast_init():
-        model = build_model(name, **kwargs)
+        try:
+            model = build_model(name, **kwargs)
+        except ValueError as error:
+            raise _UsageError(str(error)) from None
         if depth > 0:
             grid = GRID_OF_SPLITS.get(splits)
             if grid is None:
-                raise SystemExit(
+                raise _UsageError(
                     f"--splits must be one of {sorted(GRID_OF_SPLITS)}")
             model = to_split_cnn(model, depth=depth, num_splits=grid)
     return model
@@ -291,6 +322,29 @@ def _cmd_serve_bench(args) -> int:
     return 0 if metrics.completed_requests else 1
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from .analysis import analyze_graph
+    from .graph import build_inference_graph, build_training_graph
+
+    depth = args.split_depth if args.split > 1 else 0.0
+    model = _build_named_model(args.model, depth, args.split)
+    if args.inference:
+        graph = build_inference_graph(model, args.batch)
+    else:
+        graph = build_training_graph(model, args.batch)
+    report = analyze_graph(graph, workers=args.workers,
+                           inference=args.inference)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_info(args) -> int:
     from .graph import build_training_graph
     from .graph.export import graph_stats
@@ -340,6 +394,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "verify-plan": _cmd_verify_plan,
     "serve-bench": _cmd_serve_bench,
+    "lint": _cmd_lint,
     "info": _cmd_info,
     "export": _cmd_export,
 }
@@ -347,7 +402,17 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except _UsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0                      # downstream pager/head closed the pipe
+    except Exception:
+        traceback.print_exc()
+        print("internal error", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

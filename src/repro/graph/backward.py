@@ -25,7 +25,55 @@ from typing import Dict, Optional
 from .ir import Graph, OpNode, TensorValue
 from .registry import op_def
 
-__all__ = ["append_backward_graph"]
+__all__ = ["append_backward_graph", "prune_dead_gradients"]
+
+
+def prune_dead_gradients(graph: Graph) -> int:
+    """Remove backward-phase ops none of whose outputs is ever read or a
+    run result.  Returns the number of ops removed.
+
+    Two generators produce such dead compute mechanically:
+
+    - the registry's backward rules emit a data-gradient for every op
+      input, including the network input itself — nothing trains on
+      ``grad(input)``, so the first layer's ``bwd_data`` (and, in split
+      graphs, the ``split_bwd`` concatenating patch input gradients plus
+      the per-patch chains feeding it) is dead;
+    - segment checkpointing re-executes a whole segment, but the
+      recomputed clone of the segment's *last* op goes unread — backward
+      twins consume the recomputed saved inputs, and the next segment
+      restarts from the real checkpoint tensor.
+
+    Found by the static analyzer as ``SCA002``; pruned here at build
+    time.  Runs to a fixpoint: removing a consumer can kill the ops
+    producing its inputs.  Parameter gradients (kind ``"gradient"``) and
+    running stats (``"saved_stat"``) are results and keep their
+    producers alive whatever their consumer count.
+    """
+    removed_total = 0
+    while True:
+        dead = []
+        for op in graph.ops:
+            if op.phase != "backward":
+                continue
+            outputs = [graph.tensors[t] for t in op.outputs]
+            if outputs and all(
+                    t.kind not in ("gradient", "saved_stat")
+                    and not t.consumers for t in outputs):
+                dead.append(op)
+        if not dead:
+            return removed_total
+        dead_ids = {op.id for op in dead}
+        graph.ops = [op for op in graph.ops if op.id not in dead_ids]
+        for op in dead:
+            for tensor_id in set(op.inputs) | set(op.saved):
+                tensor = graph.tensors.get(tensor_id)
+                if tensor is not None:
+                    tensor.consumers = [c for c in tensor.consumers
+                                        if c != op.id]
+            for tensor_id in op.outputs:
+                graph.tensors.pop(tensor_id, None)
+        removed_total += len(dead)
 
 
 class _BackwardEmitter:
@@ -77,5 +125,6 @@ def append_backward_graph(graph: Graph) -> Graph:
     forward = graph.forward_ops()
     for op in reversed(forward):
         emitter.emit(op)
+    prune_dead_gradients(graph)
     graph.validate()
     return graph

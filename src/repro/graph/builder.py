@@ -271,6 +271,12 @@ def _emit_dropout(builder: GraphBuilder, module: Dropout, value: TensorValue) ->
         "dropout", "dropout", [value], attrs={"p": module.p},
         out_names=["dropout.out", "dropout.mask"], out_dtypes={1: 1},
     )
+    # Per-op seed attribute: the executor derives this op's mask stream
+    # from ``(dropout_seed, seed)``, and the determinism audit requires
+    # the attribute to be present and unique.  Seeding by op id keeps the
+    # streams identical to the historical ``(dropout_seed, op.id)``.
+    op = builder.graph.op_by_id(out.producer)
+    op.attrs["seed"] = op.id
     return out
 
 
@@ -542,6 +548,6 @@ def _apply_inplace_abn(graph: Graph) -> None:
         if op.op_type != "batchnorm":
             continue
         out = graph.tensor(op.outputs[0])
-        if any(graph.ops[c].op_type == "relu" for c in out.consumers):
+        if any(graph.op_by_id(c).op_type == "relu" for c in out.consumers):
             op.attrs["recompute"] = True
             op.saved = []

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
-from .backward import _BackwardEmitter
+from .backward import _BackwardEmitter, prune_dead_gradients
 from .builder import build_forward_graph
 from .ir import Graph, OpNode, TensorValue
 
@@ -158,6 +158,7 @@ def append_checkpointed_backward(graph: Graph,
                               bounds[segment_index] - 1, -1):
             emitter.emit(forward[op_index])
 
+    prune_dead_gradients(graph)
     graph.validate()
     return graph
 

@@ -68,10 +68,53 @@ from .ir import Graph, OpNode
 from .liveness import compute_free_plan
 from .registry import op_def
 
-__all__ = ["GraphExecutor"]
+__all__ = ["GraphExecutor", "resolve_final_gradients", "OUTPUT_NAMES"]
 
 #: Tensor names whose values are run outputs (never freed eagerly).
-_OUTPUT_NAMES = ("loss", "logits")
+OUTPUT_NAMES = ("loss", "logits")
+_OUTPUT_NAMES = OUTPUT_NAMES
+
+
+def resolve_final_gradients(graph: Graph) -> Dict[str, int]:
+    """Map each parameter name to the tensor id of its total gradient.
+
+    A parameter consumed by several forward ops (split patches, weight
+    sharing) accumulates through a chain of ``grad_acc`` ops.  The total
+    is the chain's *structural* end: the gradient tensor that no further
+    ``grad_acc`` op folds into another gradient of the same parameter.
+    Selecting by tensor id (the historical ``max(finals, key=id)``)
+    silently breaks whenever a transform or re-serialization renumbers
+    tensors — ids carry no semantics.
+
+    Shared between :class:`GraphExecutor` (run outputs, pinning) and the
+    determinism audit of :mod:`repro.analysis` (which reports an
+    un-frozen reduction instead of raising).
+    """
+    param_names = [t.name for t in graph.tensors.values()
+                   if t.kind == "parameter"]
+    finals: Dict[str, int] = {}
+    for param_name in param_names:
+        names = (f"grad({param_name})", f"grad_acc({param_name})")
+        candidates = [t for t in graph.tensors.values()
+                      if t.kind == "gradient" and t.name in names]
+        if not candidates:
+            continue
+        candidate_ids = {t.id for t in candidates}
+        merged = set()
+        for tensor in candidates:
+            for op_id in set(tensor.consumers):
+                op = graph.op_by_id(op_id)
+                if op.op_type == "grad_acc" and any(
+                        out_id in candidate_ids for out_id in op.outputs):
+                    merged.add(tensor.id)
+        tails = [t for t in candidates if t.id not in merged]
+        if len(tails) != 1:
+            raise ValueError(
+                f"gradient accumulation chain for {param_name!r} has "
+                f"{len(tails)} tails, expected exactly one"
+            )
+        finals[param_name] = tails[0].id
+    return finals
 
 
 class GraphExecutor:
@@ -100,13 +143,25 @@ class GraphExecutor:
         retires (and each saved context after its last backward twin).
         ``False`` keeps everything live until the next :meth:`run` or
         :meth:`release_intermediates`.
+    preflight: statically analyze the graph before accepting it — the
+        whole-graph lint, the concurrency-hazard detector (at this
+        executor's ``workers``), and the determinism audit of
+        :mod:`repro.analysis`.  Raises
+        :class:`~repro.analysis.GraphAnalysisError` on any error-severity
+        finding.  Opt-in: it re-runs storage assignment, which is wasted
+        work when the caller already lints its graphs.
     """
 
     def __init__(self, graph: Graph, parameters: Dict[str, np.ndarray],
                  dropout_seed: int = 0, reuse_contexts: bool = True,
-                 workers: int = 1, eager_free: bool = True) -> None:
+                 workers: int = 1, eager_free: bool = True,
+                 preflight: bool = False) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if preflight:
+            # Deferred import: repro.analysis consumes this module.
+            from ..analysis import analyze_graph
+            analyze_graph(graph, workers=workers).raise_if_failed()
         if workers > 1 and not reuse_contexts:
             raise ValueError(
                 "workers > 1 requires reuse_contexts=True: forward replay "
@@ -179,39 +234,7 @@ class GraphExecutor:
 
     # ------------------------------------------------------------------
     def _resolve_final_gradients(self) -> Dict[str, int]:
-        """Map each parameter name to the tensor id of its total gradient.
-
-        A parameter consumed by several forward ops (split patches, weight
-        sharing) accumulates through a chain of ``grad_acc`` ops.  The
-        total is the chain's *structural* end: the gradient tensor that no
-        further ``grad_acc`` op folds into another gradient of the same
-        parameter.  Selecting by tensor id (the historical
-        ``max(finals, key=id)``) silently breaks whenever a transform or
-        re-serialization renumbers tensors — ids carry no semantics.
-        """
-        finals: Dict[str, int] = {}
-        for param_name in self._param_names.values():
-            names = (f"grad({param_name})", f"grad_acc({param_name})")
-            candidates = [t for t in self.graph.tensors.values()
-                          if t.kind == "gradient" and t.name in names]
-            if not candidates:
-                continue
-            candidate_ids = {t.id for t in candidates}
-            merged = set()
-            for tensor in candidates:
-                for op_id in set(tensor.consumers):
-                    op = self.graph.op_by_id(op_id)
-                    if op.op_type == "grad_acc" and any(
-                            out_id in candidate_ids for out_id in op.outputs):
-                        merged.add(tensor.id)
-            tails = [t for t in candidates if t.id not in merged]
-            if len(tails) != 1:
-                raise ValueError(
-                    f"gradient accumulation chain for {param_name!r} has "
-                    f"{len(tails)} tails, expected exactly one"
-                )
-            finals[param_name] = tails[0].id
-        return finals
+        return resolve_final_gradients(self.graph)
 
     # ------------------------------------------------------------------
     def release_intermediates(self) -> None:
@@ -393,5 +416,10 @@ class GraphExecutor:
         return ctx
 
     def dropout_op_seed(self, op: OpNode) -> Tuple[int, int]:
-        """Per-op dropout seed: distinct layers draw distinct masks."""
-        return (self.dropout_seed, op.id)
+        """Per-op dropout seed: distinct layers draw distinct masks.
+
+        The builder stamps ``attrs["seed"] = op.id`` on every stochastic
+        op (audited by ``repro.analysis``); graphs constructed by hand
+        fall back to the op id, which is the same stream.
+        """
+        return (self.dropout_seed, op.attrs.get("seed", op.id))

@@ -131,6 +131,17 @@ class Graph:
     def tensor(self, tensor_id: int) -> TensorValue:
         return self.tensors[tensor_id]
 
+    def op_positions(self) -> Dict[int, int]:
+        """Map each op id to its index in the serialized order.
+
+        Op ids and positions coincide for freshly built graphs but diverge
+        after transforms that drop ops (e.g. dead-gradient pruning), so
+        every positional analysis — liveness, storage, verification, the
+        static analyzer — must translate through this map instead of
+        treating ids as indices.
+        """
+        return {op.id: index for index, op in enumerate(self.ops)}
+
     def op_dependencies(self) -> Dict[int, set]:
         """Op-level dependency DAG of the serialized graph.
 
@@ -193,7 +204,7 @@ class Graph:
         # Deferred: registry.py imports this module for the OpDef types.
         from .registry import infer_op_shapes, op_def
 
-        position = {op.id: index for index, op in enumerate(self.ops)}
+        position = self.op_positions()
         for op in self.ops:
             definition = op_def(op.op_type)
             for tensor_id in op.inputs:

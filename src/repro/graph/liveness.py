@@ -56,7 +56,7 @@ def compute_lifetimes(graph: Graph) -> Dict[int, Lifetime]:
         if op.phase == "forward":
             boundary = index
     lifetimes: Dict[int, Lifetime] = {}
-    position = {op.id: index for index, op in enumerate(graph.ops)}
+    position = graph.op_positions()
     for tensor in graph.tensors.values():
         produce = position[tensor.producer] if tensor.producer is not None else -1
         lifetime = Lifetime(tensor_id=tensor.id, produce_index=produce)

@@ -91,6 +91,11 @@ class OpDef:
     free: bool = False              # zero-cost (views, aliased error terms)
     sharing: str = SHARE_NONE       # TSO-sharing class (HMMS §4.2)
     inplace: bool = False           # output 0 may reuse input 0's TSO
+    # Draws random numbers at execution time.  The determinism audit
+    # (repro.analysis) requires every stochastic op to carry a unique
+    # per-op ``seed`` attribute so any execution order replays the same
+    # masks.
+    stochastic: bool = False
     # Which tensors the op keeps alive for its backward twin, as
     # ("input"|"output", index) references — the paper's per-layer
     # "generated data" (Figure 1).
@@ -795,7 +800,7 @@ _register(OpDef(
 _register(OpDef(
     "dropout", kernel=_k_dropout, characterize=_char_elementwise(2.0),
     infer_shapes=_shape_dropout, backward=_bwd_dropout,
-    inplace=True, saved=(("output", 1),),
+    inplace=True, saved=(("output", 1),), stochastic=True,
 ))
 _register(OpDef(
     "split", kernel=_k_split, characterize=_char_copy,

@@ -58,10 +58,10 @@ def plan_layerwise(
         candidates = [
             tso for tso in candidates
             if any(
-                graph.ops[consumer].op_type == "conv2d"
+                graph.op_by_id(consumer).op_type == "conv2d"
                 for tensor_id in tso.tensor_ids
                 for consumer in graph.tensor(tensor_id).consumers
-                if graph.ops[consumer].phase == "forward"
+                if graph.op_by_id(consumer).phase == "forward"
             )
         ]
     plan = OffloadPlan(candidate_bytes=candidate_bytes)

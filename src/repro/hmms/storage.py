@@ -20,7 +20,7 @@ pool (§4.4); everything else goes to the device general pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from ..graph.ir import Graph, TensorValue
 from ..graph.registry import op_def
@@ -28,7 +28,16 @@ from .tso import (
     POOL_DEVICE_GENERAL, POOL_DEVICE_PARAM, SHARE_ALIAS, SHARE_SUMMATION, TSO,
 )
 
-__all__ = ["StorageAssignment", "assign_storage"]
+__all__ = ["StorageAssignment", "TSOAccess", "assign_storage"]
+
+
+@dataclass(frozen=True)
+class TSOAccess:
+    """One op touching one TSO, as the storage plan sees it."""
+
+    op_id: int
+    mode: str          # "r" (reads the bytes) | "w" (writes the bytes)
+    tensor_id: int     # the tensor through which the TSO is touched
 
 
 @dataclass
@@ -49,6 +58,58 @@ class StorageAssignment:
 
     def total_bytes(self, pool: str) -> int:
         return sum(t.size for t in self.tsos.values() if t.pool == pool)
+
+    def tso_accesses(self, graph: Graph) -> Dict[int, List[TSOAccess]]:
+        """Which ops read/write each TSO's bytes — the storage-level access
+        map the concurrency-hazard detector (:mod:`repro.analysis.races`)
+        checks against the op dependency DAG.
+
+        Semantics per op:
+
+        - every graph input is a read of its tensor's TSO;
+        - a backward op additionally reads the TSOs of its forward op's
+          ``saved`` tensors (the kernel may pull them from the saved
+          context rather than an explicit input);
+        - every output is a write of its TSO, *except* pure aliases: a
+          zero-cost view (``SHARE_ALIAS``) or summation error term
+          (``SHARE_SUMMATION``) whose output was actually mapped onto its
+          input's TSO moves no bytes.  In-place ops (ReLU) do write —
+          sharing the input TSO is exactly what makes them hazardous to
+          reorder.
+        """
+        accesses: Dict[int, List[TSOAccess]] = {}
+
+        def touch(op_id: int, mode: str, tensor_id: int) -> None:
+            tso_id = self.tso_of.get(tensor_id)
+            if tso_id is None:
+                return
+            accesses.setdefault(tso_id, []).append(
+                TSOAccess(op_id=op_id, mode=mode, tensor_id=tensor_id))
+
+        for op in graph.ops:
+            read_ids = list(op.inputs)
+            if op.forward_of is not None:
+                try:
+                    read_ids.extend(graph.op_by_id(op.forward_of).saved)
+                except StopIteration:
+                    pass           # dangling forward_of; the lint pass reports it
+            seen: set = set()
+            for tensor_id in read_ids:
+                if tensor_id in seen:
+                    continue
+                seen.add(tensor_id)
+                touch(op.id, "r", tensor_id)
+            definition = op_def(op.op_type)
+            aliasing = definition.free and definition.sharing in (
+                SHARE_ALIAS, SHARE_SUMMATION)
+            for tensor_id in op.outputs:
+                if (aliasing and op.inputs
+                        and self.tso_of.get(tensor_id) is not None
+                        and self.tso_of.get(tensor_id)
+                        == self.tso_of.get(op.inputs[0])):
+                    continue       # pure alias: no bytes move
+                touch(op.id, "w", tensor_id)
+        return accesses
 
 
 def _is_last_reader(graph: Graph, tensor: TensorValue, op_id: int) -> bool:

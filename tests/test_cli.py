@@ -1,7 +1,14 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Exit codes are part of the contract: 0 = clean, 1 = the command ran and
+found problems, 2 = usage or internal error (matching argparse).
+"""
+
+import json
 
 import pytest
 
+from repro.analysis import AnalysisReport, Diagnostic
 from repro.cli import build_parser, main
 
 
@@ -59,10 +66,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "split" in out
 
-    def test_plan_invalid_splits(self):
-        with pytest.raises(SystemExit):
-            main(["plan", "small_vgg", "-b", "4",
-                  "--split-depth", "0.5", "--splits", "5"])
+    def test_plan_invalid_splits_exits_two(self, capsys):
+        assert main(["plan", "small_vgg", "-b", "4",
+                     "--split-depth", "0.5", "--splits", "5"]) == 2
+        assert "--splits" in capsys.readouterr().err
 
     def test_fig1_small_batch(self, capsys):
         assert main(["fig1", "-b", "8"]) == 0
@@ -72,9 +79,9 @@ class TestCommands:
         assert main(["fig11", "--factor", "2"]) == 0
         assert "Figure 11" in capsys.readouterr().out
 
-    def test_unknown_model_errors(self):
-        with pytest.raises(ValueError):
-            main(["info", "lenet"])
+    def test_unknown_model_exits_two(self, capsys):
+        assert main(["info", "lenet"]) == 2
+        assert "lenet" in capsys.readouterr().err
 
     def test_serve_bench(self, capsys):
         assert main(["serve-bench", "small_resnet", "--rps", "50",
@@ -89,6 +96,68 @@ class TestCommands:
         assert main(["serve-bench", "small_vgg", "--rps", "50",
                      "--duration", "0.5", "--split", "4"]) == 0
         assert "split2x2" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_model_exits_zero(self, capsys):
+        assert main(["lint", "small_vgg", "-b", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis" in out and "clean" in out
+
+    def test_split_inference_json(self, capsys):
+        assert main(["lint", "small_vgg", "-b", "2", "--split", "4",
+                     "--inference", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["findings"] == []
+        assert "split2x2" in payload["graph"]
+
+    def test_sarif_format(self, capsys):
+        assert main(["lint", "small_resnet", "-b", "2",
+                     "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-sca"
+
+    def test_error_findings_exit_one(self, capsys, monkeypatch):
+        import repro.analysis
+
+        def failing(graph, **kwargs):
+            return AnalysisReport(
+                graph_name=graph.name, num_ops=len(graph.ops),
+                num_tensors=len(graph.tensors), workers=4,
+                passes=("graph-lint",),
+                findings=[Diagnostic("SCA007", "injected corruption")])
+
+        monkeypatch.setattr(repro.analysis, "analyze_graph", failing)
+        assert main(["lint", "small_vgg", "-b", "2"]) == 1
+        assert "SCA007" in capsys.readouterr().out
+
+    def test_internal_error_exits_two(self, capsys, monkeypatch):
+        import repro.analysis
+
+        def boom(graph, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(repro.analysis, "analyze_graph", boom)
+        assert main(["lint", "small_vgg", "-b", "2"]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_unknown_format_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "small_vgg", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+
+class TestVerifyPlanExitCodes:
+    def test_clean_plan_exits_zero(self, capsys):
+        assert main(["verify-plan", "small_vgg", "-b", "4"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_overtight_capacity_exits_one(self, capsys):
+        # A capacity no plan can fit forces error-severity violations.
+        assert main(["verify-plan", "small_vgg", "-b", "4",
+                     "--capacity-gib", "0.000001"]) == 1
+        assert "capacity" in capsys.readouterr().out.lower()
 
 
 class TestExport:

@@ -192,7 +192,7 @@ class TestBackwardGeneration:
         for op in graph.backward_ops():
             if op.op_type != "batchnorm_bwd" or not op.attrs.get("recompute"):
                 continue
-            forward = graph.ops[op.forward_of]
+            forward = graph.op_by_id(op.forward_of)
             assert forward.inputs[0] not in op.inputs
 
 

@@ -197,10 +197,10 @@ class TestLayerwise:
         assert set(conv_only.transfers) <= set(everything.transfers)
         for tso_id in conv_only.transfers:
             consumers = {
-                graph.ops[c].op_type
+                graph.op_by_id(c).op_type
                 for t in assignment.tensors_of(tso_id)
                 for c in graph.tensor(t).consumers
-                if graph.ops[c].phase == "forward"
+                if graph.op_by_id(c).phase == "forward"
             }
             assert "conv2d" in consumers
 

@@ -245,3 +245,31 @@ def test_mutated_zoo_plan_rejected(zoo_hmms_plan, family, mutate):
     report = verify_plan(plan)
     assert not report.ok, f"{mutate.__name__} went undetected"
     assert family in report.families_violated(), report.render()
+
+
+# ----------------------------------------------------------------------
+# Dependency-DAG completeness: the executor, the free plan, and the race
+# detector all trust op_dependencies() to carry every ordering edge.
+# ----------------------------------------------------------------------
+@given(random_cnn(), st.sampled_from([None, (2, 2), (1, 2)]))
+@settings(max_examples=25, deadline=None)
+def test_op_dependencies_cover_every_edge(case, grid):
+    model, _ = case
+    if grid is not None:
+        try:
+            model = to_split_cnn(model, depth=0.5, num_splits=grid)
+        except ValueError:
+            return  # split infeasible for this tiny architecture
+    graph = build_training_graph(model, 2)
+    deps = graph.op_dependencies()
+    assert set(deps) == {op.id for op in graph.ops}
+    for op in graph.ops:
+        expected = {graph.tensors[t].producer for t in op.inputs
+                    if graph.tensors[t].producer is not None
+                    and graph.tensors[t].producer != op.id}
+        if op.forward_of is not None:
+            expected.add(op.forward_of)
+        # Exactly the producer-consumer edges plus the forward twin —
+        # nothing missing (soundness of every downstream consumer) and
+        # nothing invented (no lost parallelism).
+        assert deps[op.id] == expected, op
