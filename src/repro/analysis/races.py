@@ -145,7 +145,8 @@ def _use_after_free(graph, position, happens_before):
     from ..graph.executor import OUTPUT_NAMES, resolve_final_gradients
 
     pinned = {t.id for t in graph.tensors.values()
-              if t.kind == "parameter" or t.name in OUTPUT_NAMES}
+              if t.kind in ("parameter", "constant")
+              or t.name in OUTPUT_NAMES}
     try:
         pinned |= set(resolve_final_gradients(graph).values())
     except ValueError:

@@ -13,9 +13,10 @@ is reproducible from a shell:
     python -m repro verify-plan vgg19    # static plan verification
     python -m repro info resnet50 -b 64  # graph statistics
 
-plus the serving-side bench and the static analyzer:
+plus the serving-side bench, the graph compiler, and the static analyzer:
 
     python -m repro serve-bench vgg11 --rps 100 --duration 5
+    python -m repro compile vgg11 --split 4 --check
     python -m repro lint vgg11 -b 16 --workers 4
 
 Exit codes are uniform across commands: ``0`` clean, ``1`` the command
@@ -122,6 +123,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="executor threads for --numeric batches "
                             "(wavefront scheduler; bit-identical logits)")
+    serve.add_argument("--compile", action="store_true",
+                       help="compile cached graphs (fusion + constant "
+                            "folding) and serve lowered CompiledPlans")
+
+    compile_ = sub.add_parser(
+        "compile",
+        help="run the graph compiler; report per-pass rewrites")
+    compile_.add_argument("model")
+    compile_.add_argument("-b", "--batch", type=int, default=2)
+    compile_.add_argument("--split", type=int, default=1,
+                          help="total patches (1,2,3,4,6,9); 1 = unsplit")
+    compile_.add_argument("--split-depth", type=float, default=0.5)
+    compile_.add_argument("--train", action="store_true",
+                          help="compile the training graph "
+                               "(default: inference)")
+    compile_.add_argument("--eval-bn", action="store_true",
+                          help="inference: running-stat batch norm "
+                               "(enables BN constant folding)")
+    compile_.add_argument("--backends", action="store_true",
+                          help="also select conv backends per shape "
+                               "(direct vs FFT; not byte-identical)")
+    compile_.add_argument("--check", action="store_true",
+                          help="execute compiled vs interpreted graphs "
+                               "and require byte-identical outputs")
+    compile_.add_argument("--workers", type=int, default=1,
+                          help="CompiledPlan threads for --check")
 
     lint = sub.add_parser(
         "lint",
@@ -305,7 +332,8 @@ def _cmd_serve_bench(args) -> int:
     engine = ServingEngine.from_zoo(args.model, split=args.split,
                                     split_depth=args.split_depth,
                                     numeric=args.numeric,
-                                    workers=args.workers)
+                                    workers=args.workers,
+                                    compile_plans=args.compile)
     config = BenchConfig(
         rps=args.rps,
         duration=args.duration,
@@ -319,7 +347,72 @@ def _cmd_serve_bench(args) -> int:
     )
     metrics = run_bench(engine, config)
     print(render_report(engine, config, metrics))
+    # Cache-stats invariants: every miss is either resident or evicted,
+    # and every executed batch went through exactly one cache lookup.
+    cache = engine.cache
+    stats_ok = (cache.misses == len(cache) + cache.evictions
+                and cache.hits + cache.misses == engine.executed_batches)
+    print(f"plan cache         : {cache.hits} hits / {cache.misses} misses "
+          f"/ {cache.evictions} evictions / {len(cache)} resident "
+          f"(fingerprint {engine.pipeline_fingerprint}) "
+          f"[invariant {'ok' if stats_ok else 'VIOLATED'}]")
+    if not stats_ok:
+        return 1
     return 0 if metrics.completed_requests else 1
+
+
+def _cmd_compile(args) -> int:
+    import numpy as np
+
+    from .compile import CompiledPlan, default_pipeline
+    from .graph import (
+        GraphExecutor, build_inference_graph, build_training_graph,
+    )
+
+    if args.check and args.backends:
+        raise _UsageError(
+            "--check asserts byte-identity, which --backends breaks "
+            "(FFT forward != direct forward bitwise); drop one of them")
+    depth = args.split_depth if args.split > 1 else 0.0
+    model = _build_named_model(args.model, depth, args.split)
+
+    def build():
+        if args.train:
+            return build_training_graph(model, args.batch)
+        return build_inference_graph(model, args.batch,
+                                     eval_batchnorm=args.eval_bn)
+
+    graph = build()
+    params = GraphExecutor.parameters_from_model(graph, model)
+    pipeline = default_pipeline(select_backends=args.backends)
+    report = pipeline.run(graph, params=params)
+    print(report.render())
+    if not args.check:
+        return 0
+
+    reference = build()
+    interpreter = GraphExecutor(
+        reference, GraphExecutor.parameters_from_model(reference, model),
+        dropout_seed=0)
+    plan = CompiledPlan(graph, params, dropout_seed=0, workers=args.workers)
+    rng = np.random.default_rng(0)
+    input_shape = next(t for t in reference.tensors.values()
+                       if t.kind == "input").shape
+    x = rng.standard_normal(input_shape)
+    targets = None
+    if args.train:
+        logits = next(t for t in reference.tensors.values()
+                      if t.name == "softmax")
+        targets = rng.integers(0, logits.shape[-1], size=args.batch)
+    expected = interpreter.run(x, targets)
+    actual = plan.run(x, targets)
+    identical = set(expected) == set(actual) and all(
+        expected[key].tobytes() == actual[key].tobytes()
+        for key in expected)
+    print(f"byte-identity check: "
+          f"{'identical' if identical else 'MISMATCH'} "
+          f"({len(expected)} outputs, workers={args.workers})")
+    return 0 if identical else 1
 
 
 def _cmd_lint(args) -> int:
@@ -394,6 +487,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "verify-plan": _cmd_verify_plan,
     "serve-bench": _cmd_serve_bench,
+    "compile": _cmd_compile,
     "lint": _cmd_lint,
     "info": _cmd_info,
     "export": _cmd_export,

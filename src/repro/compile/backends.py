@@ -1,0 +1,95 @@
+"""Per-shape convolution backend selection (direct GEMM vs FFT).
+
+Direct convolution costs ``2·N·K·C·kh·kw·Ho·Wo`` flops through a highly
+efficient im2col+GEMM path.  FFT convolution costs three batched 2-D
+transforms plus a pointwise complex contraction — asymptotically far
+cheaper for large kernels, but running through numpy's pocketfft at a
+fraction of GEMM's effective throughput (modelled by ``FFT_PENALTY``).
+
+The pass compares both analytic costs per conv op and stamps
+``attrs["backend"] = "fft"`` where FFT wins by a clear margin; the
+registry's conv kernels dispatch on that attribute
+(:func:`repro.graph.registry._conv_fn_for`).  On the repo's model zoo
+(3×3/1×1 kernels on ≤32×32 maps) direct always wins — honestly reported
+by the compile CLI — but large-kernel workloads (≳9×9 on large maps)
+flip to FFT.
+
+FFT forward results are numerically equal but **not bitwise identical**
+to direct results, so this pass is opt-in
+(``default_pipeline(select_backends=True)``) and never part of the
+byte-identity pipeline.  Backward twins keep the direct path: the saved
+forward context exposes the padded input, and both backward contractions
+are backend-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Tuple
+
+from ..graph.ir import Graph, OpNode
+from .pipeline import CompileContext, Pass, PassResult
+
+__all__ = ["SELECT_BACKENDS", "select_conv_backends", "conv_backend_costs"]
+
+#: Throughput handicap of pocketfft + pointwise complex math relative to
+#: the BLAS GEMM the direct path rides on.
+FFT_PENALTY = 4.0
+
+#: FFT must beat direct by this factor before we switch — the analytic
+#: model is coarse, so close calls stay on the well-tested default.
+MARGIN = 0.8
+
+_CONV_FORWARD_TYPES = ("conv2d", "conv2d_relu",
+                       "conv2d_siblings", "conv2d_relu_siblings")
+
+
+def conv_backend_costs(graph: Graph, op: OpNode) -> Tuple[float, float]:
+    """(direct, fft) analytic host costs of one conv-family forward op."""
+    batch, in_channels, height, width = graph.tensors[op.inputs[0]].shape
+    siblings = int(op.attrs.get("siblings", 1))
+    batch *= siblings
+    kernel_h, kernel_w = op.attrs["kernel"]
+    out_channels = int(op.attrs["out_channels"])
+    out_shape = graph.tensors[op.outputs[0]].shape
+    out_h, out_w = out_shape[-2], out_shape[-1]
+
+    direct = (2.0 * batch * out_channels * in_channels
+              * kernel_h * kernel_w * out_h * out_w)
+
+    (pad_top, pad_bottom), (pad_left, pad_right) = op.attrs["padding"]
+    padded_h = height + pad_top + pad_bottom
+    padded_w = width + pad_left + pad_right
+    transform_area = float((padded_h + kernel_h - 1)
+                           * (padded_w + kernel_w - 1))
+    transform_terms = (batch * in_channels            # rfft2(x)
+                       + out_channels * in_channels   # rfft2(w)
+                       + batch * out_channels)        # irfft2(y)
+    transforms = 2.5 * transform_area * math.log2(transform_area) \
+        * transform_terms
+    pointwise = 8.0 * batch * out_channels * in_channels * transform_area
+    fft = (transforms + pointwise) * FFT_PENALTY
+    return direct, fft
+
+
+def select_conv_backends(graph: Graph, ctx: CompileContext) -> PassResult:
+    del ctx
+    details: Counter = Counter()
+    changed = 0
+    for op in graph.ops:
+        if op.phase != "forward" or op.op_type not in _CONV_FORWARD_TYPES:
+            continue
+        direct, fft = conv_backend_costs(graph, op)
+        if fft < MARGIN * direct:
+            if op.attrs.get("backend") != "fft":
+                op.attrs["backend"] = "fft"
+                changed += 1
+            details["fft"] += 1
+        else:
+            details["direct"] += 1
+    return PassResult("select_backends", changed, dict(details))
+
+
+SELECT_BACKENDS = Pass(name="select_backends", version=1,
+                       fn=select_conv_backends)

@@ -1,0 +1,304 @@
+"""Lowered execution plan: the interpreter's hot loop without the
+per-op lookups.
+
+:class:`GraphExecutor` resolves every op through the registry on every
+step, keeps values in dicts keyed by tensor id, and consults dict-based
+refcount schedules to free dead values.  For the small per-patch ops a
+Split-CNN transform creates, that bookkeeping is a measurable fraction of
+a step.  :class:`CompiledPlan` precomputes all of it at build time into
+flat arrays indexed by op/tensor id:
+
+- kernel callables are bound once (``self._steps``), so the serial loop
+  is ``for kernel, op in steps: kernel(self, op)``;
+- values live in a dense list — kernel-facing ``input``/``set_output``
+  become single list indexes;
+- the eager-free refcounts, per-op consumed-tensor tuples, and saved-
+  context twin counts are dense lists copied per run;
+- dropout seed pairs and forward-op references are precomputed per op.
+
+The plan exposes the exact kernel-facing API of :class:`GraphExecutor`
+(``input``/``set_output``/``forward_op``/``save_context``/
+``forward_context``/``dropout_op_seed``/``targets``/``graph``/
+``values``), so every registry kernel runs unchanged; byte-identity with
+the interpreter is structural, not numerical — same kernels, same
+serialized order (or same dependency DAG under ``workers > 1``), same
+per-op dropout streams.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.executor import (
+    OUTPUT_NAMES, GraphExecutor, resolve_final_gradients,
+)
+from ..graph.ir import Graph, OpNode
+from ..graph.liveness import compute_free_plan
+from ..graph.registry import op_def
+
+__all__ = ["CompiledPlan"]
+
+
+class CompiledPlan:
+    """A graph lowered to flat arrays, executable serially or wavefront.
+
+    Drop-in for :class:`~repro.graph.executor.GraphExecutor` for the
+    common configuration (context reuse on, eager freeing optional):
+    same constructor params ``parameters``/``dropout_seed``/``workers``/
+    ``eager_free``, same :meth:`run` signature and output dict.
+    """
+
+    def __init__(self, graph: Graph, parameters: Dict[str, np.ndarray],
+                 dropout_seed: int = 0, workers: int = 1,
+                 eager_free: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.graph = graph
+        self.dropout_seed = dropout_seed
+        self.workers = workers
+        self.eager_free = eager_free
+        self.targets: Optional[np.ndarray] = None
+
+        num_tensors = 1 + max((t.id for t in graph.tensors.values()),
+                              default=0)
+        num_ops = 1 + max((op.id for op in graph.ops), default=0)
+        self._num_ops = num_ops
+
+        # -- persistent values (parameters + constants), seeded once ----
+        base: List[Optional[np.ndarray]] = [None] * num_tensors
+        persistent = set()
+        for tensor in graph.tensors.values():
+            if tensor.kind == "parameter":
+                if tensor.name not in parameters:
+                    raise KeyError(f"missing parameter array {tensor.name!r}")
+                array = parameters[tensor.name]
+                if tuple(array.shape) != tensor.shape:
+                    raise ValueError(
+                        f"parameter {tensor.name!r}: expected {tensor.shape},"
+                        f" got {array.shape}"
+                    )
+                base[tensor.id] = array
+                persistent.add(tensor.id)
+            elif tensor.kind == "constant":
+                try:
+                    base[tensor.id] = graph.constants[tensor.id]
+                except KeyError:
+                    raise KeyError(
+                        f"constant tensor {tensor.name!r} (id {tensor.id}) "
+                        "has no value in graph.constants"
+                    ) from None
+                persistent.add(tensor.id)
+        self._base_values = base
+        self.values: List[Optional[np.ndarray]] = list(base)
+        self._contexts: List[Any] = [None] * num_ops
+
+        self._input_tensor = next(t for t in graph.tensors.values()
+                                  if t.kind == "input")
+        self._outputs_by_name = {
+            t.name: t.id for t in graph.tensors.values()
+            if t.name in OUTPUT_NAMES
+        }
+        self._final_grads = resolve_final_gradients(graph)
+        pinned = frozenset(persistent
+                           | set(self._outputs_by_name.values())
+                           | set(self._final_grads.values()))
+
+        # -- lowered step list: kernels bound once ----------------------
+        self._steps: List[Tuple[Any, OpNode]] = [
+            (op_def(op.op_type).kernel, op) for op in graph.ops
+        ]
+        self._fwd: List[Optional[OpNode]] = [None] * num_ops
+        self._seeds: List[Optional[Tuple[int, int]]] = [None] * num_ops
+        for op in graph.ops:
+            self._seeds[op.id] = (dropout_seed, op.attrs.get("seed", op.id))
+            if op.forward_of is not None:
+                self._fwd[op.id] = graph.op_by_id(op.forward_of)
+
+        # -- dense eager-free schedule ----------------------------------
+        counts, consumed_by_op = compute_free_plan(graph, pinned=pinned)
+        self._counts_template: List[int] = [0] * num_tensors
+        for tensor_id, count in counts.items():
+            self._counts_template[tensor_id] = count
+        self._consumed: List[Tuple[int, ...]] = [()] * num_ops
+        for op_id, tensor_ids in consumed_by_op.items():
+            self._consumed[op_id] = tuple(tensor_ids)
+        twin_counts = Counter(op.forward_of for op in graph.ops
+                              if op.forward_of is not None)
+        self._ctx_template: List[int] = [0] * num_ops
+        for op_id, count in twin_counts.items():
+            self._ctx_template[op_id] = count
+
+        # -- dense wavefront schedule -----------------------------------
+        deps = graph.op_dependencies()
+        self._remaining_template: List[int] = [0] * num_ops
+        self._dependents: List[Tuple[int, ...]] = [()] * num_ops
+        dependents: Dict[int, List[int]] = {}
+        for op_id, op_deps in deps.items():
+            self._remaining_template[op_id] = len(op_deps)
+            for dep in op_deps:
+                dependents.setdefault(dep, []).append(op_id)
+        for op_id, dep_list in dependents.items():
+            self._dependents[op_id] = tuple(dep_list)
+        self._by_id: List[Optional[OpNode]] = [None] * num_ops
+        for op in graph.ops:
+            self._by_id[op.id] = op
+        self._initial = [op for op in graph.ops
+                         if self._remaining_template[op.id] == 0]
+
+    # ------------------------------------------------------------------
+    parameters_from_model = staticmethod(
+        GraphExecutor.parameters_from_model)
+
+    # ------------------------------------------------------------------
+    def release_intermediates(self) -> None:
+        """Reset to the persistent (parameter + constant) values only."""
+        self.values = list(self._base_values)
+        self._contexts = [None] * self._num_ops
+
+    def run(self, input_array: np.ndarray,
+            targets: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
+        """Execute the lowered plan; same output dict as the interpreter:
+        ``{'loss', 'grad(<param>)': ...}`` / ``{'logits': ...}``."""
+        self.release_intermediates()
+        if tuple(input_array.shape) != self._input_tensor.shape:
+            raise ValueError(
+                f"input shape {input_array.shape} != graph input "
+                f"{self._input_tensor.shape}"
+            )
+        self.values[self._input_tensor.id] = np.asarray(input_array,
+                                                        dtype=np.float64)
+        self.targets = targets
+        if self.workers > 1:
+            self._run_wavefront()
+        else:
+            self._run_serial()
+        outputs: Dict[str, np.ndarray] = {}
+        for name, tensor_id in self._outputs_by_name.items():
+            outputs[name] = self.values[tensor_id]
+        for param_name, tensor_id in self._final_grads.items():
+            outputs[f"grad({param_name})"] = self.values[tensor_id]
+        return outputs
+
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> None:
+        values = self.values
+        contexts = self._contexts
+        consumed = self._consumed
+        if not self.eager_free:
+            for kernel, op in self._steps:
+                kernel(self, op)
+            return
+        counts = list(self._counts_template)
+        ctx_left = list(self._ctx_template)
+        for kernel, op in self._steps:
+            kernel(self, op)
+            for tensor_id in consumed[op.id]:
+                left = counts[tensor_id] - 1
+                counts[tensor_id] = left
+                if left == 0:
+                    values[tensor_id] = None
+            forward_id = op.forward_of
+            if forward_id is not None:
+                left = ctx_left[forward_id] - 1
+                ctx_left[forward_id] = left
+                if left == 0:
+                    contexts[forward_id] = None
+
+    def _run_wavefront(self) -> None:
+        """Ready-queue scheduling over the precomputed dependent lists —
+        the interpreter's wavefront with all dict lookups hoisted."""
+        remaining = list(self._remaining_template)
+        counts = list(self._counts_template) if self.eager_free else None
+        ctx_left = list(self._ctx_template)
+        consumed = self._consumed
+        dependents = self._dependents
+        by_id = self._by_id
+        values = self.values
+        contexts = self._contexts
+        lock = threading.Lock()
+        done = threading.Event()
+        failures: List[BaseException] = []
+        ops_left = len(self._steps)
+        kernels = {op.id: kernel for kernel, op in self._steps}
+
+        def finish(op: OpNode) -> None:
+            nonlocal ops_left
+            ready_next: List[OpNode] = []
+            with lock:
+                if counts is not None:
+                    for tensor_id in consumed[op.id]:
+                        left = counts[tensor_id] - 1
+                        counts[tensor_id] = left
+                        if left == 0:
+                            values[tensor_id] = None
+                    forward_id = op.forward_of
+                    if forward_id is not None:
+                        left = ctx_left[forward_id] - 1
+                        ctx_left[forward_id] = left
+                        if left == 0:
+                            contexts[forward_id] = None
+                for dep_id in dependents[op.id]:
+                    remaining[dep_id] -= 1
+                    if remaining[dep_id] == 0:
+                        ready_next.append(by_id[dep_id])
+                ops_left -= 1
+                if ops_left == 0:
+                    done.set()
+            for next_op in ready_next:
+                pool.submit(task, next_op)
+
+        def task(op: OpNode) -> None:
+            if failures:
+                return
+            try:
+                kernels[op.id](self, op)
+            except BaseException as exc:  # surfaced to the caller below
+                failures.append(exc)
+                done.set()
+                return
+            finish(op)
+
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            for op in self._initial:
+                pool.submit(task, op)
+            done.wait()
+        finally:
+            pool.shutdown(wait=True)
+        if failures:
+            raise failures[0]
+
+    # -- kernel-facing API (identical to GraphExecutor's) ----------------
+    def input(self, op: OpNode, index: int) -> np.ndarray:
+        value = self.values[op.inputs[index]]
+        assert value is not None
+        return value
+
+    def set_output(self, op: OpNode, index: int, value: np.ndarray) -> None:
+        self.values[op.outputs[index]] = value
+
+    def forward_op(self, op: OpNode) -> OpNode:
+        forward = self._fwd[op.id]
+        assert forward is not None
+        return forward
+
+    def save_context(self, op: OpNode, fn: Any) -> None:
+        self._contexts[op.id] = fn
+
+    def forward_context(self, op: OpNode) -> Any:
+        forward = self.forward_op(op)
+        ctx = self._contexts[forward.id]
+        if ctx is None:             # context already freed: replay forward
+            op_def(forward.op_type).kernel(self, forward)
+            ctx = self._contexts[forward.id]
+        return ctx
+
+    def dropout_op_seed(self, op: OpNode) -> Tuple[int, int]:
+        seed = self._seeds[op.id]
+        assert seed is not None
+        return seed

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+import numpy as np
+
 from ..core.region import SplitRegion, get_handler
 from ..core.scheme import SplitScheme
 from ..core.split_op import SplitPlan2d
@@ -49,19 +51,25 @@ class GraphBuilder:
     def __init__(self, batch_size: int, workspace_cap: int = GIB,
                  memory_efficient_bn: bool = False,
                  patch_order: str = "depth_first",
-                 inference: bool = False) -> None:
+                 inference: bool = False,
+                 eval_batchnorm: bool = False) -> None:
         if patch_order not in ("depth_first", "breadth_first"):
             raise ValueError(
                 f"patch_order must be 'depth_first' or 'breadth_first', "
                 f"got {patch_order!r}"
             )
+        if eval_batchnorm and not inference:
+            raise ValueError("eval_batchnorm requires inference=True: "
+                             "training batch-norm uses batch statistics")
         self.graph = Graph()
         self.batch_size = batch_size
         self.workspace_cap = workspace_cap
         self.memory_efficient_bn = memory_efficient_bn
         self.patch_order = patch_order
         self.inference = inference
+        self.eval_batchnorm = eval_batchnorm
         self._param_cache: dict[int, TensorValue] = {}
+        self._const_cache: dict[Any, TensorValue] = {}
         self._name_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -83,6 +91,22 @@ class GraphBuilder:
             shape, kind="parameter",
         )
         self._param_cache[key] = tensor
+        return tensor
+
+    def constant(self, module: Module, attribute: str,
+                 array: np.ndarray) -> TensorValue:
+        """Compile-time constant tensor (BN running stats), cached so
+        split patches share one value; stored in ``graph.constants``."""
+        key = (id(module), attribute)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        tensor = self.graph.add_tensor(
+            self._unique(f"{type(module).__name__.lower()}.{attribute}"),
+            array.shape, kind="constant",
+        )
+        self.graph.constants[tensor.id] = np.asarray(array)
+        self._const_cache[key] = tensor
         return tensor
 
     def conv_workspace(self, module: Conv2d, out_hw: Tuple[int, int]) -> int:
@@ -178,6 +202,19 @@ class GraphBuilder:
     def emit_bn(self, module: BatchNorm2d, value: TensorValue, tag: str = "") -> TensorValue:
         weight = self.param(module, "weight", module.weight.shape)
         bias = self.param(module, "bias", module.bias.shape)
+        if self.eval_batchnorm:
+            mean = self.constant(module, "running_mean",
+                                 module.running_mean.data)
+            var = self.constant(module, "running_var",
+                                module.running_var.data)
+            (out,) = self.add_registered_op(
+                f"bn{tag}", "batchnorm_eval",
+                [value, weight, bias, mean, var],
+                attrs={"num_features": module.num_features,
+                       "eps": module.eps},
+                out_names=[f"bn{tag}.out"],
+            )
+            return out
         (out,) = self.add_registered_op(
             f"bn{tag}", "batchnorm", [value, weight, bias],
             attrs={"num_features": module.num_features, "recompute": False},
@@ -499,6 +536,7 @@ def build_forward_graph(
     workspace_cap: int = GIB,
     patch_order: str = "depth_first",
     inference: bool = False,
+    eval_batchnorm: bool = False,
 ) -> Graph:
     """Build the serialized forward graph for one training step of ``model``.
 
@@ -510,6 +548,12 @@ def build_forward_graph(
     the logits (no loss head), no tensor is marked saved for backward, and
     dropout layers vanish — the memory plan for such a graph carries no
     backward-only state at all.
+
+    ``eval_batchnorm=True`` (inference only) emits ``batchnorm_eval`` ops
+    normalizing with the model's *running* statistics — ``model.eval()``
+    semantics — with the stats as kind-``"constant"`` tensors whose
+    values live in ``graph.constants``.  This is the form the compiler's
+    constant-folding pass collapses into per-channel affine ops.
     """
     size = input_size if input_size is not None else model.input_size
     builder = GraphBuilder(
@@ -518,6 +562,7 @@ def build_forward_graph(
         memory_efficient_bn=bool(getattr(model, "memory_efficient_bn", False)),
         patch_order=patch_order,
         inference=inference,
+        eval_batchnorm=eval_batchnorm,
     )
     graph = builder.graph
     graph.name = model.name

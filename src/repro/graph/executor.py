@@ -189,13 +189,25 @@ class GraphExecutor:
                     )
                 self.values[tensor.id] = array
                 self._param_names[tensor.id] = tensor.name
+            elif tensor.kind == "constant":
+                try:
+                    self.values[tensor.id] = graph.constants[tensor.id]
+                except KeyError:
+                    raise KeyError(
+                        f"constant tensor {tensor.name!r} (id {tensor.id}) "
+                        "has no value in graph.constants"
+                    ) from None
+        self._persistent = frozenset(
+            set(self._param_names)
+            | {t.id for t in graph.tensors.values() if t.kind == "constant"}
+        )
         self._outputs_by_name = {
             t.name: t.id for t in graph.tensors.values()
             if t.name in _OUTPUT_NAMES
         }
         self._final_grads = self._resolve_final_gradients()
         self._pinned = frozenset(
-            set(self._param_names)
+            self._persistent
             | set(self._outputs_by_name.values())
             | set(self._final_grads.values())
         )
@@ -247,7 +259,7 @@ class GraphExecutor:
         """
         self.values = {tensor_id: array
                        for tensor_id, array in self.values.items()
-                       if tensor_id in self._param_names}
+                       if tensor_id in self._persistent}
         self._contexts.clear()
 
     def run(self, input_array: np.ndarray,

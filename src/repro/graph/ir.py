@@ -26,7 +26,10 @@ class TensorValue:
     id: int
     name: str
     shape: Tuple[int, ...]
-    kind: str = "activation"  # activation | input | parameter | gradient | saved_stat
+    # activation | input | parameter | gradient | gradient_act |
+    # saved_stat | constant ("constant" tensors carry a compile-time
+    # value in Graph.constants — running stats, folded BN scales).
+    kind: str = "activation"
     dtype_bytes: int = FLOAT_BYTES
     producer: Optional[int] = None          # op id
     consumers: List[int] = field(default_factory=list)
@@ -73,6 +76,10 @@ class Graph:
         self.name = name
         self.ops: List[OpNode] = []
         self.tensors: Dict[int, TensorValue] = {}
+        # Values of kind="constant" tensors, keyed by tensor id: inputs
+        # that are fixed at graph-build/compile time (BN running stats,
+        # folded scales).  Executors seed these like parameters.
+        self.constants: Dict[int, np.ndarray] = {}
         self._next_tensor_id = 0
         self._next_op_id = 0
 

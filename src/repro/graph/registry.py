@@ -51,7 +51,8 @@ from ..tensor.ops_nn import (
 from .ir import Graph, OpNode
 
 __all__ = [
-    "OpDef", "REGISTRY", "op_def", "has_op", "infer_op_shapes",
+    "OpDef", "FusionRule", "FoldResult", "REGISTRY", "op_def", "has_op",
+    "infer_op_shapes",
     "EFF_CONV", "EFF_GEMM", "EFF_MEMORY",
     "SHARE_NONE", "SHARE_ALIAS", "SHARE_SUMMATION",
 ]
@@ -69,6 +70,38 @@ EFF_MEMORY = "memory"
 SHARE_NONE = "none"            # ordinary tensor, own TSO
 SHARE_ALIAS = "alias"          # pure view: output always aliases input 0
 SHARE_SUMMATION = "summation"  # summation error terms share the upstream TSO
+
+
+@dataclass(frozen=True)
+class FusionRule:
+    """A chain fusion declared on the *head* op's :class:`OpDef`.
+
+    ``chain`` names the op types that must follow the head through
+    single-consumer intermediate activations; matching replaces the whole
+    chain with one ``fused`` op.  ``requires`` (optional) receives
+    ``(graph, chain_ops, twins)`` — ``twins`` maps forward op id to its
+    backward ops — and vetoes the rewrite when the fused kernel could not
+    reproduce the unfused bytes (e.g. conv→BN in training without
+    ``recompute``).
+    """
+
+    chain: Tuple[str, ...]
+    fused: str
+    requires: Optional[Callable[..., bool]] = None
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Replacement spec returned by an :attr:`OpDef.fold` hook.
+
+    ``inputs`` entries are either ``("tensor", tensor_id)`` (keep an
+    existing graph tensor) or ``("const", name, array)`` (materialize a
+    new compile-time constant).
+    """
+
+    op_type: str
+    inputs: Tuple[Tuple[Any, ...], ...]
+    attrs: Dict[str, Any]
 
 
 @dataclass(frozen=True)
@@ -100,6 +133,17 @@ class OpDef:
     # ("input"|"output", index) references — the paper's per-layer
     # "generated data" (Figure 1).
     saved: Tuple[Tuple[str, int], ...] = ()
+    # --- compiler hooks (consumed by repro.compile) -------------------
+    # Chain fusions this op can head (conv→bn→relu and friends).
+    fusions: Tuple[FusionRule, ...] = ()
+    # S-ary batched variant fusing independent same-weight siblings
+    # (split-CNN patch convolutions) into one stacked kernel call.
+    sibling_fused: Optional[str] = None
+    # Partial constant folding: (op, value_of) -> FoldResult | None,
+    # where value_of(tensor_id) returns the compile-time array of a
+    # constant/parameter input or None if it is not foldable.
+    fold: Optional[Callable[[OpNode, Callable[[int], Any]],
+                            Optional[FoldResult]]] = None
 
 
 # ----------------------------------------------------------------------
@@ -170,11 +214,71 @@ def _shape_cross_entropy(ins, attrs):
     return [(1,), ins[0]]          # scalar loss + saved softmax
 
 
+def _shape_conv_siblings(ins, attrs):
+    # ins = [x_0 .. x_{S-1}, weight(, bias)] with identical patch shapes.
+    return [_shape_conv2d([ins[i]], attrs)[0]
+            for i in range(attrs["siblings"])]
+
+
 # ----------------------------------------------------------------------
 # Numeric kernels (consumed by the executor)
 # ----------------------------------------------------------------------
+def _conv_fn_for(op):
+    """The forward Function for a conv-family op, honoring the per-shape
+    backend stamped by the compiler's ``select_conv_backends`` pass."""
+    backend = op.attrs.get("backend")
+    if backend is None or backend == "direct":
+        return _ConvFn()
+    if backend == "fft":
+        from ..tensor.fftconv import _FFTConv2d
+        return _FFTConv2d()
+    if backend == "winograd":
+        from ..tensor.winograd import _WinogradConv2d
+        return _WinogradConv2d()
+    raise ValueError(f"unknown conv backend {backend!r} on op {op.name!r}")
+
+
+class _ConvBnContext:
+    """Composite forward context of a fused conv+BN op: the conv and BN
+    backward kernels each unwrap their slot."""
+
+    __slots__ = ("conv", "bn")
+
+    def __init__(self, conv, bn):
+        self.conv = conv
+        self.bn = bn
+
+
+def _sibling_conv_ctx(ctx, op):
+    """A per-sibling view of a stacked ``conv2d_siblings`` context.
+
+    The stacked forward padded all S inputs batch-concatenated; slicing
+    rows ``[i*n:(i+1)*n]`` of the padded input reproduces the standalone
+    per-patch context exactly (spatial padding is row-independent).
+    """
+    sibling = op.attrs.get("sibling")
+    if sibling is None:
+        return ctx
+    count = op.attrs["siblings"]
+    rows = ctx.xp.shape[0] // count
+    sub = _ConvFn()
+    sub.stride, sub.padding = ctx.stride, ctx.padding
+    sub.in_shape = (rows,) + tuple(ctx.in_shape[1:])
+    sub.xp = ctx.xp[sibling * rows:(sibling + 1) * rows]
+    sub.weight = ctx.weight
+    sub.has_bias = ctx.has_bias
+    return sub
+
+
+def _conv_backward_ctx(ex, op):
+    ctx = ex.forward_context(op)
+    if isinstance(ctx, _ConvBnContext):
+        ctx = ctx.conv
+    return _sibling_conv_ctx(ctx, op)
+
+
 def _k_conv2d(ex, op):
-    fn = _ConvFn()
+    fn = _conv_fn_for(op)
     bias = ex.input(op, 2) if len(op.inputs) > 2 else None
     out = fn.forward(ex.input(op, 0), ex.input(op, 1), bias,
                      op.attrs["stride"], op.attrs["padding"])
@@ -182,13 +286,74 @@ def _k_conv2d(ex, op):
     ex.set_output(op, 0, out)
 
 
+def _k_conv2d_relu(ex, op):
+    fn = _conv_fn_for(op)
+    bias = ex.input(op, 2) if len(op.inputs) > 2 else None
+    out = fn.forward(ex.input(op, 0), ex.input(op, 1), bias,
+                     op.attrs["stride"], op.attrs["padding"])
+    ex.save_context(op, fn)
+    ex.set_output(op, 0, np.maximum(out, 0.0))
+
+
+def _k_conv2d_bn(ex, op, relu=False):
+    # inputs: [x, w(, bias), gamma, beta]
+    has_bias = len(op.inputs) == 5
+    conv = _conv_fn_for(op)
+    bias = ex.input(op, 2) if has_bias else None
+    out = conv.forward(ex.input(op, 0), ex.input(op, 1), bias,
+                       op.attrs["stride"], op.attrs["padding"])
+    bn = _BatchNormTrain()
+    out = bn.forward(out, ex.input(op, len(op.inputs) - 2),
+                     ex.input(op, len(op.inputs) - 1), 1e-5)
+    ex.save_context(op, _ConvBnContext(conv, bn))
+    if relu:
+        out = np.maximum(out, 0.0)
+    ex.set_output(op, 0, out)
+
+
+def _k_conv2d_bn_relu(ex, op):
+    _k_conv2d_bn(ex, op, relu=True)
+
+
+def _k_conv2d_siblings(ex, op, relu=False):
+    count = op.attrs["siblings"]
+    has_bias = len(op.inputs) == count + 2
+    stacked = np.concatenate([ex.input(op, i) for i in range(count)], axis=0)
+    fn = _conv_fn_for(op)
+    bias = ex.input(op, count + 1) if has_bias else None
+    out = fn.forward(stacked, ex.input(op, count), bias,
+                     op.attrs["stride"], op.attrs["padding"])
+    ex.save_context(op, fn)
+    if relu:
+        out = np.maximum(out, 0.0)
+    rows = out.shape[0] // count
+    for i in range(count):
+        ex.set_output(op, i, out[i * rows:(i + 1) * rows])
+
+
+def _k_conv2d_relu_siblings(ex, op):
+    _k_conv2d_siblings(ex, op, relu=True)
+
+
 def _k_conv2d_bwd_data(ex, op):
-    ctx = ex.forward_context(op)
+    ctx = _conv_backward_ctx(ex, op)
     ex.set_output(op, 0, ctx.backward_input(ex.input(op, 0)))
 
 
-def _k_conv2d_bwd_weight(ex, op):
+def _k_conv2d_bwd_data_siblings(ex, op):
+    count = op.attrs["siblings"]
     ctx = ex.forward_context(op)
+    if isinstance(ctx, _ConvBnContext):
+        ctx = ctx.conv
+    stacked = np.concatenate([ex.input(op, i) for i in range(count)], axis=0)
+    grad = ctx.backward_input(stacked)
+    rows = grad.shape[0] // count
+    for i in range(count):
+        ex.set_output(op, i, grad[i * rows:(i + 1) * rows])
+
+
+def _k_conv2d_bwd_weight(ex, op):
+    ctx = _conv_backward_ctx(ex, op)
     grad_out = ex.input(op, 0)
     ex.set_output(op, 0, ctx.backward_weight(grad_out))
     if len(op.outputs) > 1:
@@ -221,10 +386,35 @@ def _k_batchnorm(ex, op):
 
 
 def _k_batchnorm_bwd(ex, op):
-    grads = ex.forward_context(op).backward(ex.input(op, 0))
+    ctx = ex.forward_context(op)
+    if isinstance(ctx, _ConvBnContext):
+        ctx = ctx.bn
+    grads = ctx.backward(ex.input(op, 0))
     ex.set_output(op, 0, grads[0])
     ex.set_output(op, 1, grads[1])
     ex.set_output(op, 2, grads[2])
+
+
+def _k_batchnorm_eval(ex, op):
+    # inputs: [x, gamma, beta, running_mean, running_var]; mirrors
+    # nn.norm._BatchNormEval operation-for-operation so the IR inference
+    # path and model.eval() produce identical bytes.
+    eps = op.attrs.get("eps", 1e-5)
+    inv_std = 1.0 / np.sqrt(ex.input(op, 4) + eps)
+    scale = ex.input(op, 1) * inv_std
+    centered = ex.input(op, 0) - ex.input(op, 3).reshape(1, -1, 1, 1)
+    ex.set_output(op, 0, scale.reshape(1, -1, 1, 1) * centered
+                  + ex.input(op, 2).reshape(1, -1, 1, 1))
+
+
+def _k_bn_affine(ex, op):
+    # inputs: [x, scale, mean, beta] — the constant-folded batchnorm_eval.
+    # ``scale`` was precomputed by the fold with the exact expression the
+    # unfolded kernel uses, keeping the rewrite bit-exact.
+    scale, mean, beta = ex.input(op, 1), ex.input(op, 2), ex.input(op, 3)
+    centered = ex.input(op, 0) - mean.reshape(1, -1, 1, 1)
+    ex.set_output(op, 0, scale.reshape(1, -1, 1, 1) * centered
+                  + beta.reshape(1, -1, 1, 1))
 
 
 def _k_relu(ex, op):
@@ -453,6 +643,133 @@ def _bwd_conv2d(em, op):
                        workspace_bytes=op.workspace_bytes)
 
 
+def _emit_conv_grads(em, op, x, weight, bias, grad_out):
+    """conv2d bwd_data/bwd_weight twins for a (possibly fused) conv op,
+    with an explicit upstream gradient (the fused activation/BN gradient
+    rather than ``grad_of(output)``)."""
+    grad_x = em.new_grad(x)
+    em.graph.add_op(
+        f"{op.name}.bwd_data", "conv2d_bwd_data", [grad_out, weight],
+        [grad_x], phase="backward", forward_of=op.id, attrs=dict(op.attrs),
+        workspace_bytes=op.workspace_bytes,
+    )
+    grad_w = em.new_grad(weight, kind="gradient")
+    wgrad_outputs = [grad_w]
+    if bias is not None:
+        wgrad_outputs.append(em.new_grad(bias, kind="gradient"))
+    em.graph.add_op(
+        f"{op.name}.bwd_weight", "conv2d_bwd_weight", [grad_out, x],
+        wgrad_outputs, phase="backward", forward_of=op.id,
+        attrs=dict(op.attrs), workspace_bytes=op.workspace_bytes,
+    )
+    em.contribute(weight, grad_w, op)
+    if bias is not None:
+        em.contribute(bias, wgrad_outputs[1], op)
+    em.contribute(x, grad_x, op)
+
+
+def _bwd_conv2d_relu(em, op):
+    inputs, (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    grad_pre = em.graph.add_tensor(f"grad({op.name}.pre)", out.shape,
+                                   kind="gradient_act")
+    em.graph.add_op(
+        f"{op.name}.bwd_relu", "relu_bwd", [grad_out, out], [grad_pre],
+        phase="backward", forward_of=op.id,
+        inplace_of=_grad_inplace("relu_bwd", grad_out),
+    )
+    bias = inputs[2] if len(inputs) == 3 else None
+    _emit_conv_grads(em, op, inputs[0], inputs[1], bias, grad_pre)
+
+
+def _bwd_conv2d_bn(em, op, relu=False):
+    inputs, (out,) = em._io(op)
+    grad_out = em.grad_of(out.id)
+    if grad_out is None:
+        return
+    bias = inputs[2] if len(inputs) == 5 else None
+    gamma, beta = inputs[-2], inputs[-1]
+    if relu:
+        grad_bn = em.graph.add_tensor(f"grad({op.name}.bn)", out.shape,
+                                      kind="gradient_act")
+        em.graph.add_op(
+            f"{op.name}.bwd_relu", "relu_bwd", [grad_out, out], [grad_bn],
+            phase="backward", forward_of=op.id,
+            inplace_of=_grad_inplace("relu_bwd", grad_out),
+        )
+        grad_out = grad_bn
+    grad_pre = em.graph.add_tensor(f"grad({op.name}.pre)", out.shape,
+                                   kind="gradient_act")
+    grad_gamma = em.new_grad(gamma, kind="gradient")
+    grad_beta = em.new_grad(beta, kind="gradient")
+    em.graph.add_op(
+        f"{op.name}.bwd_bn", "batchnorm_bwd", [grad_out, gamma],
+        [grad_pre, grad_gamma, grad_beta], phase="backward",
+        forward_of=op.id, attrs={"recompute": True},
+    )
+    em.contribute(gamma, grad_gamma, op)
+    em.contribute(beta, grad_beta, op)
+    _emit_conv_grads(em, op, inputs[0], inputs[1], bias, grad_pre)
+
+
+def _bwd_conv2d_bn_relu(em, op):
+    _bwd_conv2d_bn(em, op, relu=True)
+
+
+def _bwd_conv2d_siblings(em, op, relu=False):
+    count = op.attrs["siblings"]
+    inputs, outputs = em._io(op)
+    has_bias = len(inputs) == count + 2
+    weight = inputs[count]
+    bias = inputs[count + 1] if has_bias else None
+    grads = [em.grad_of(out.id) for out in outputs]
+    if any(grad is None for grad in grads):
+        return
+    if relu:
+        pre_grads = []
+        for i, (out, grad) in enumerate(zip(outputs, grads)):
+            grad_pre = em.graph.add_tensor(
+                f"grad({op.name}.pre{i})", out.shape, kind="gradient_act")
+            em.graph.add_op(
+                f"{op.name}.bwd_relu{i}", "relu_bwd", [grad, out],
+                [grad_pre], phase="backward", forward_of=op.id,
+                inplace_of=_grad_inplace("relu_bwd", grad),
+            )
+            pre_grads.append(grad_pre)
+        grads = pre_grads
+    grad_xs = [em.new_grad(inputs[i]) for i in range(count)]
+    em.graph.add_op(
+        f"{op.name}.bwd_data", "conv2d_bwd_data_siblings",
+        grads + [weight], grad_xs, phase="backward", forward_of=op.id,
+        attrs=dict(op.attrs), workspace_bytes=op.workspace_bytes,
+    )
+    # Per-sibling weight gradients, emitted in reverse sibling order to
+    # reproduce the grad_acc chain of the unfused reversed-forward walk.
+    for i in reversed(range(count)):
+        grad_w = em.new_grad(weight, kind="gradient")
+        wgrad_outputs = [grad_w]
+        if bias is not None:
+            wgrad_outputs.append(em.new_grad(bias, kind="gradient"))
+        em.graph.add_op(
+            f"{op.name}.bwd_weight{i}", "conv2d_bwd_weight",
+            [grads[i], inputs[i]], wgrad_outputs, phase="backward",
+            forward_of=op.id,
+            attrs={**op.attrs, "sibling": i},
+            workspace_bytes=op.workspace_bytes,
+        )
+        em.contribute(weight, grad_w, op)
+        if bias is not None:
+            em.contribute(bias, wgrad_outputs[1], op)
+    for i in reversed(range(count)):
+        em.contribute(inputs[i], grad_xs[i], op)
+
+
+def _bwd_conv2d_relu_siblings(em, op):
+    _bwd_conv2d_siblings(em, op, relu=True)
+
+
 def _bwd_batchnorm(em, op):
     (x, weight, bias), (out,) = em._io(op)
     grad_out = em.grad_of(out.id)
@@ -626,7 +943,7 @@ def _io_bytes(graph: Graph, op: OpNode) -> int:
 
 
 def _conv_shapes(graph: Graph, op: OpNode):
-    if op.op_type == "conv2d":
+    if op.phase == "forward":
         out = graph.tensor(op.outputs[0])
         n, k, ho, wo = out.shape
     else:
@@ -644,6 +961,18 @@ def _char_conv(graph: Graph, op: OpNode):
     n, c, k, kh, kw, ho, wo = _conv_shapes(graph, op)
     flops = 2.0 * n * k * c * kh * kw * ho * wo
     return flops, _io_bytes(graph, op)
+
+
+def _char_conv_bn(graph: Graph, op: OpNode):
+    flops, bytes_moved = _char_conv(graph, op)
+    return flops + 5.0 * graph.tensor(op.outputs[0]).num_elements, bytes_moved
+
+
+def _char_conv_siblings(graph: Graph, op: OpNode):
+    # _char_conv reads one sibling's tensor (outputs[0] forward /
+    # inputs[0] backward); the stacked op does S of those contractions.
+    flops, _ = _char_conv(graph, op)
+    return flops * op.attrs["siblings"], float(_io_bytes(graph, op))
 
 
 def _char_linear(graph: Graph, op: OpNode):
@@ -707,6 +1036,45 @@ def _char_free(graph: Graph, op: OpNode):
 
 
 # ----------------------------------------------------------------------
+# Compiler hooks (consumed by repro.compile)
+# ----------------------------------------------------------------------
+def _bn_fusion_legal(graph, chain_ops, twins):
+    """conv→BN fusion keeps the unfused bytes only when no backward twin
+    reads the conv output tensor — i.e. at inference, or in training with
+    ``recompute`` BN (whose ``batchnorm_bwd`` consumes just the upstream
+    gradient and gamma)."""
+    bn = chain_ops[1]
+    if any(twins.get(member.id) for member in chain_ops):
+        return bool(bn.attrs.get("recompute"))
+    return True
+
+
+def _fold_batchnorm_eval(op, value_of):
+    """Fold the inference-constant half of ``batchnorm_eval`` into a
+    precomputed per-channel scale: ``bn_affine(x, scale, mean, beta)``.
+
+    ``scale`` is computed with the exact expression ``_k_batchnorm_eval``
+    evaluates at run time (same dtype, same operation order), so folding
+    is bit-exact.
+    """
+    gamma = value_of(op.inputs[1])
+    var = value_of(op.inputs[4])
+    if gamma is None or var is None:
+        return None
+    eps = op.attrs.get("eps", 1e-5)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    scale = gamma * inv_std
+    return FoldResult(
+        "bn_affine",
+        (("tensor", op.inputs[0]),
+         ("const", f"{op.name}.scale", scale),
+         ("tensor", op.inputs[3]),
+         ("tensor", op.inputs[2])),
+        {"num_features": int(op.attrs.get("num_features", scale.shape[0]))},
+    )
+
+
+# ----------------------------------------------------------------------
 # The registry
 # ----------------------------------------------------------------------
 REGISTRY: Dict[str, OpDef] = {}
@@ -749,6 +1117,48 @@ _register(OpDef(
     "conv2d", kernel=_k_conv2d, characterize=_char_conv,
     infer_shapes=_shape_conv2d, backward=_bwd_conv2d, efficiency=EFF_CONV,
     saved=(("input", 0),),
+    fusions=(
+        FusionRule(("batchnorm", "relu"), "conv2d_bn_relu",
+                   requires=_bn_fusion_legal),
+        FusionRule(("batchnorm",), "conv2d_bn", requires=_bn_fusion_legal),
+        FusionRule(("relu",), "conv2d_relu"),
+    ),
+    sibling_fused="conv2d_siblings",
+))
+_register(OpDef(
+    "conv2d_relu", kernel=_k_conv2d_relu, characterize=_char_conv,
+    infer_shapes=_shape_conv2d, backward=_bwd_conv2d_relu,
+    efficiency=EFF_CONV, saved=(("input", 0), ("output", 0)),
+    sibling_fused="conv2d_relu_siblings",
+))
+_register(OpDef(
+    "conv2d_bn", kernel=_k_conv2d_bn, characterize=_char_conv_bn,
+    infer_shapes=_shape_conv2d, backward=_bwd_conv2d_bn,
+    efficiency=EFF_CONV, saved=(("input", 0),),
+))
+_register(OpDef(
+    "conv2d_bn_relu", kernel=_k_conv2d_bn_relu, characterize=_char_conv_bn,
+    infer_shapes=_shape_conv2d, backward=_bwd_conv2d_bn_relu,
+    efficiency=EFF_CONV, saved=(("input", 0), ("output", 0)),
+))
+_register(OpDef(
+    "conv2d_siblings", kernel=_k_conv2d_siblings,
+    characterize=_char_conv_siblings, infer_shapes=_shape_conv_siblings,
+    backward=_bwd_conv2d_siblings, efficiency=EFF_CONV,
+))
+_register(OpDef(
+    "conv2d_relu_siblings", kernel=_k_conv2d_relu_siblings,
+    characterize=_char_conv_siblings, infer_shapes=_shape_conv_siblings,
+    backward=_bwd_conv2d_relu_siblings, efficiency=EFF_CONV,
+))
+_register(OpDef(
+    "batchnorm_eval", kernel=_k_batchnorm_eval,
+    characterize=_char_batchnorm, infer_shapes=_shape_same,
+    fold=_fold_batchnorm_eval,
+))
+_register(OpDef(
+    "bn_affine", kernel=_k_bn_affine,
+    characterize=_char_elementwise(3.0, 3.0), infer_shapes=_shape_same,
 ))
 _register(OpDef(
     "linear", kernel=_k_linear, characterize=_char_linear,
@@ -824,6 +1234,10 @@ _register(OpDef(
 _register(OpDef(
     "conv2d_bwd_weight", kernel=_k_conv2d_bwd_weight, characterize=_char_conv,
     efficiency=EFF_CONV,
+))
+_register(OpDef(
+    "conv2d_bwd_data_siblings", kernel=_k_conv2d_bwd_data_siblings,
+    characterize=_char_conv_siblings, efficiency=EFF_CONV,
 ))
 _register(OpDef(
     "linear_bwd_data", kernel=_k_linear_bwd_data, characterize=_char_linear,

@@ -146,7 +146,8 @@ def assign_storage(
     # Graph inputs and parameters first (no producer).
     for tensor in graph.tensors.values():
         if tensor.producer is None:
-            pool = POOL_DEVICE_PARAM if tensor.kind in ("parameter",) \
+            pool = POOL_DEVICE_PARAM \
+                if tensor.kind in ("parameter", "constant") \
                 else POOL_DEVICE_GENERAL
             new_tso(tensor, pool)
 

@@ -24,10 +24,11 @@ serving headroom.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..compile import CompiledPlan, default_pipeline
 from ..graph import GraphExecutor, build_inference_graph
 from ..graph.ir import Graph
 from ..hmms import HMMSPlanner, MemoryPlan, PlanCache, verify_plan
@@ -46,7 +47,7 @@ class CachedBatchPlan:
     graph: Graph
     plan: MemoryPlan
     latency: float                      # simulated seconds per batch
-    executor: Optional[GraphExecutor] = None
+    executor: Optional[Union[GraphExecutor, CompiledPlan]] = None
 
 
 class ServingEngine:
@@ -69,6 +70,14 @@ class ServingEngine:
         ``numeric``).
     batch_cap: upper bound for the capacity search (keeps discovery
         bounded for models far smaller than the device).
+    compile_plans: run the graph compiler's default pipeline (chain +
+        sibling fusion, constant folding) over every cached graph.
+        Graphs are built with ``eval_batchnorm=True`` so running-stat
+        normalization folds to per-channel affines, and the numeric
+        executor becomes the lowered
+        :class:`~repro.compile.CompiledPlan`.  Cache keys gain the
+        pipeline fingerprint, so compiled and interpreted entries for
+        the same bucket never collide.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class ServingEngine:
         batch_cap: int = 4096,
         cache_capacity: int = 64,
         seed: int = 0,
+        compile_plans: bool = False,
     ) -> None:
         if batch_cap < 1:
             raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
@@ -94,6 +104,8 @@ class ServingEngine:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.batch_cap = batch_cap
+        self.compile_plans = compile_plans
+        self._pipeline = default_pipeline() if compile_plans else None
         self.cache = PlanCache(capacity=cache_capacity)
         self.plans_verified = 0
         self.executed_batches = 0
@@ -137,25 +149,43 @@ class ServingEngine:
     # Planning
     # ------------------------------------------------------------------
     def _build_entry(self, batch: int) -> CachedBatchPlan:
-        graph = build_inference_graph(self.model, batch)
+        if self._pipeline is not None:
+            graph = build_inference_graph(self.model, batch,
+                                          eval_batchnorm=True)
+            self._pipeline.run(
+                graph, params=GraphExecutor.parameters_from_model(
+                    graph, self.model))
+        else:
+            graph = build_inference_graph(self.model, batch)
         plan = self.planner.plan(graph)
         if self.verify_plans:
             verify_plan(plan, device=self.device,
                         cost_model=self.planner.cost_model).raise_if_failed()
             self.plans_verified += 1
         latency = self.planner.cost_model.inference_latency(graph)
-        executor = None
+        executor: Optional[Union[GraphExecutor, CompiledPlan]] = None
         if self.numeric:
-            executor = GraphExecutor(
-                graph, GraphExecutor.parameters_from_model(graph, self.model),
-                workers=self.workers)
+            params = GraphExecutor.parameters_from_model(graph, self.model)
+            if self._pipeline is not None:
+                executor = CompiledPlan(graph, params, workers=self.workers)
+            else:
+                executor = GraphExecutor(graph, params, workers=self.workers)
         return CachedBatchPlan(batch=batch, graph=graph, plan=plan,
                                latency=latency, executor=executor)
+
+    @property
+    def pipeline_fingerprint(self) -> str:
+        """Compilation identity in the plan-cache key: the compile
+        pipeline's fingerprint, or ``"interpreter"`` when not compiling."""
+        if self._pipeline is None:
+            return "interpreter"
+        return self._pipeline.fingerprint
 
     def entry_for(self, batch: int) -> CachedBatchPlan:
         """Cached plan for the bucket that covers ``batch`` images."""
         bucket = self.bucket(batch)
-        key = (self.model.name, self._split_key, bucket)
+        key = (self.model.name, self._split_key, bucket,
+               self.pipeline_fingerprint)
         return self.cache.get_or_build(key,
                                        lambda: self._build_entry(bucket))
 

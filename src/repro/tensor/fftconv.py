@@ -1,0 +1,77 @@
+"""FFT-based 2-D convolution forward path.
+
+"Acceleration of CNN Using FFT-Based Split Convolutions" (see PAPERS.md)
+observes that frequency-domain convolution wins once kernels grow large
+relative to the transform cost: the direct method is O(N·K·C·kh·kw·Ho·Wo)
+while the FFT path pays three transforms plus a pointwise complex product,
+independent of kernel area.  The compiler's ``select_conv_backends`` pass
+(``repro.compile.backends``) uses exactly that crossover to stamp a
+per-shape backend on conv ops; this module supplies the alternate kernel.
+
+Like :mod:`repro.tensor.winograd`, the class reuses the im2col
+``Conv2d.backward`` — gradients of a convolution do not depend on the
+forward algorithm — so it only changes forward numerics (equal to the
+direct path up to floating-point rounding, not bit-exact; the selector
+pass is therefore opt-in, never part of the byte-identical default
+pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ops_nn import Conv2d as _Conv2dFunction
+from .ops_nn import IntPair, Padding2d, _pad_spatial
+
+__all__ = ["fft_conv2d_forward", "_FFTConv2d"]
+
+
+def fft_conv2d_forward(x: np.ndarray, weight: np.ndarray,
+                       bias: Optional[np.ndarray], stride: IntPair,
+                       padding: Padding2d) -> np.ndarray:
+    """Cross-correlation via rfft2 on raw arrays.
+
+    Computes the full linear convolution of the padded input with the
+    spatially flipped kernel (= cross-correlation) in the frequency
+    domain, then crops to the valid region and applies the stride.
+    """
+    xp = _pad_spatial(x, padding)
+    n, c, height, width = xp.shape
+    k, _, kh, kw = weight.shape
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"padded input {xp.shape} too small for "
+                         f"a {kh}x{kw} window")
+    # Linear (non-circular) convolution needs the padded transform size.
+    fh, fw = height + kh - 1, width + kw - 1
+    freq_x = np.fft.rfft2(xp, s=(fh, fw))
+    flipped = weight[:, :, ::-1, ::-1]
+    freq_w = np.fft.rfft2(flipped, s=(fh, fw))
+    freq_y = np.einsum("ncij,kcij->nkij", freq_x, freq_w)
+    full = np.fft.irfft2(freq_y, s=(fh, fw))
+    # Valid cross-correlation outputs start at offset (kh-1, kw-1).
+    valid = full[:, :, kh - 1:kh - 1 + (out_h - 1) * sh + 1:sh,
+                 kw - 1:kw - 1 + (out_w - 1) * sw + 1:sw]
+    out = np.ascontiguousarray(valid)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+class _FFTConv2d(_Conv2dFunction):
+    """FFT forward; reuses the im2col Conv2d backward."""
+
+    def forward(self, x: np.ndarray, weight: np.ndarray,
+                bias: Optional[np.ndarray], stride: IntPair,
+                padding: Padding2d) -> np.ndarray:
+        # Bookkeeping the parent backward needs:
+        self.stride, self.padding = stride, padding
+        self.in_shape = x.shape
+        self.xp = _pad_spatial(x, padding)
+        self.weight = weight
+        self.has_bias = bias is not None
+        return fft_conv2d_forward(x, weight, bias, stride, padding)

@@ -6,7 +6,8 @@ import pytest
 from repro.core import to_split_cnn
 from repro.graph import build_training_graph
 from repro.graph.export import (
-    MEMORY_BOUND_TYPES, GraphStats, graph_stats, to_dot, to_networkx,
+    MEMORY_BOUND_TYPES, GraphStats, graph_from_dict, graph_stats,
+    graph_to_dict, load_graph, save_graph, to_dot, to_networkx,
 )
 from repro.models import small_resnet, small_vgg
 from repro.nn.serialization import (
@@ -143,3 +144,38 @@ class TestStats:
     def test_memory_bound_types_are_known_ops(self):
         from repro.graph.registry import REGISTRY
         assert MEMORY_BOUND_TYPES <= set(REGISTRY)
+
+
+class TestGraphJsonRoundtrip:
+    def test_dict_roundtrip_is_structural_identity(self, graph):
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.name == graph.name
+        assert [op.id for op in restored.ops] == [op.id for op in graph.ops]
+        for original, twin in zip(graph.ops, restored.ops):
+            assert (twin.op_type, twin.inputs, twin.outputs, twin.attrs,
+                    twin.phase, twin.saved, twin.forward_of,
+                    twin.inplace_of) == (
+                original.op_type, original.inputs, original.outputs,
+                original.attrs, original.phase, original.saved,
+                original.forward_of, original.inplace_of)
+        assert set(restored.tensors) == set(graph.tensors)
+        for tensor_id, tensor in graph.tensors.items():
+            twin = restored.tensors[tensor_id]
+            assert (twin.name, twin.shape, twin.kind, twin.producer,
+                    twin.consumers) == (
+                tensor.name, tensor.shape, tensor.kind, tensor.producer,
+                tensor.consumers)
+
+    def test_split_graph_survives_file_roundtrip(self, tmp_path):
+        model = to_split_cnn(small_vgg(rng=np.random.default_rng(0)),
+                             depth=0.5, num_splits=(2, 2))
+        original = build_training_graph(model, 2)
+        path = tmp_path / "split.json"
+        save_graph(original, path)
+        restored = load_graph(path)
+        assert len(restored.ops) == len(original.ops)
+        restored.validate()
+        # The restored graph can keep growing: id counters resume past
+        # the loaded maxima instead of colliding with them.
+        fresh = restored.add_tensor("probe", (1,))
+        assert fresh.id not in original.tensors
