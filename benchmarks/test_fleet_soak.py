@@ -1,0 +1,114 @@
+"""Fleet soak: a million requests across three tenants on one P100.
+
+The fleet hosts the split and unsplit variants of the same model plus a
+best-effort tenant on one modelled device, replays the same seeded
+Poisson trace under continuous and flush-only batching, and checks the
+claims that make the fleet runtime trustworthy at scale:
+
+- **Zero accounting imbalance**: after a million arrivals every request
+  is in exactly one bucket (rejected / expired / completed), per tenant
+  and fleet-wide.  The simulated clock makes this exact, not
+  statistical.
+- **Continuous batching beats flush-only**: admitting requests into
+  in-flight batches at wavefront boundaries strictly lowers every
+  tenant's p99 on the identical trace.
+- **The ledger never overcommits**: peak reservations stay within the
+  device, scale-ups that would not fit are refused and counted.
+
+``REPRO_SMOKE=1`` truncates the trace to ~50k requests for CI.
+"""
+
+import dataclasses
+import os
+
+from repro.serve import (
+    BATCH, INTERACTIVE, STANDARD, FleetBenchConfig, FleetScheduler,
+    TenantConfig, fleet_arrivals,
+)
+
+from _util import run_once, save_and_print
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+#: Offered rates sum to 200k req/s; 5 simulated seconds => 1M arrivals.
+DURATION = 0.25 if SMOKE else 5.0
+TENANTS = [
+    TenantConfig(name="resnet-live", model="small_resnet", batch_cap=64,
+                 slo=INTERACTIVE, rps=100_000.0, queue_depth=512),
+    TenantConfig(name="resnet-split4", model="small_resnet", split=4,
+                 batch_cap=64, slo=STANDARD, rps=60_000.0, queue_depth=512),
+    TenantConfig(name="vgg-bulk", model="small_vgg", batch_cap=64,
+                 slo=BATCH, rps=40_000.0, queue_depth=512),
+]
+
+
+def _run_mode(trace, continuous):
+    fleet = FleetScheduler(TENANTS, continuous=continuous, autoscale=True)
+    metrics = fleet.run([dataclasses.replace(r) for r in trace])
+    return fleet, metrics
+
+
+def _render(trace, fleets, results):
+    gib = 1 << 30
+    fleet = fleets[True]
+    lines = [f"fleet soak — {len(trace):,} requests, {len(TENANTS)} tenants "
+             f"on {fleet.device.name} "
+             f"({DURATION:g} simulated s{', smoke' if SMOKE else ''})"]
+    lines.append(f"  ledger: {fleet.ledger.capacity / gib:.1f} GiB capacity, "
+                 f"{fleet.ledger.peak_reserved / gib:.2f} GiB peak, "
+                 f"{fleet.metrics.scale_up_refusals} scale-ups refused")
+    lines.append(f"  {'tenant':>14}  {'arrived':>8}  {'completed':>9}  "
+                 f"{'expired':>7}  {'p50 ms':>8}  {'p95 ms':>8}  "
+                 f"{'p99 ms':>8}  {'flush p99':>9}")
+    for tenant in TENANTS:
+        m = results[True].tenant(tenant.name)
+        flush = results[False].tenant(tenant.name)
+        lines.append(
+            f"  {tenant.name:>14}  {m.arrived:8d}  "
+            f"{m.completed_requests:9d}  {m.expired:7d}  "
+            f"{m.latency.p(50) * 1e3:8.2f}  {m.latency.p(95) * 1e3:8.2f}  "
+            f"{m.latency.p(99) * 1e3:8.2f}  "
+            f"{flush.latency.p(99) * 1e3:9.2f}")
+    return "\n".join(lines)
+
+
+def test_fleet_soak_million_requests(benchmark):
+    config = FleetBenchConfig(tenants=TENANTS, duration=DURATION, seed=0)
+    trace = fleet_arrivals(config)
+    if not SMOKE:
+        assert len(trace) >= 1_000_000
+
+    def soak():
+        return {continuous: _run_mode(trace, continuous)
+                for continuous in (True, False)}
+
+    outcome = run_once(benchmark, soak)
+    fleets = {mode: pair[0] for mode, pair in outcome.items()}
+    results = {mode: pair[1] for mode, pair in outcome.items()}
+    save_and_print("fleet_soak", _render(trace, fleets, results))
+
+    for mode, fleet in fleets.items():
+        metrics = results[mode]
+        # Zero imbalance, per tenant and fleet-wide, after a full drain.
+        still = fleet.still_queued()
+        assert all(count == 0 for count in still.values()), (mode, still)
+        metrics.check_accounting(still)
+        for tenant in TENANTS:
+            m = metrics.tenant(tenant.name)
+            assert m.arrived == (m.rejected_queue_full + m.expired
+                                 + m.completed_requests), (mode, tenant.name)
+            assert m.completed_requests > 0, (mode, tenant.name)
+        # The ledger held: reservations never exceeded the device.
+        assert fleet.ledger.peak_reserved <= fleet.ledger.capacity
+
+    # The whole offered load arrived, split across the tenants.
+    total_arrived = sum(m.arrived
+                        for m in results[True].per_tenant.values())
+    assert total_arrived == len(trace)
+
+    # Continuous batching strictly beats flush-only for every tenant on
+    # the identical trace.
+    for tenant in TENANTS:
+        cont = results[True].tenant(tenant.name).latency.p(99)
+        flush = results[False].tenant(tenant.name).latency.p(99)
+        assert cont < flush, (tenant.name, cont, flush)

@@ -16,6 +16,7 @@ is reproducible from a shell:
 plus the serving-side bench, the graph compiler, and the static analyzer:
 
     python -m repro serve-bench vgg11 --rps 100 --duration 5
+    python -m repro fleet-bench --mode compare
     python -m repro compile vgg11 --split 4 --check
     python -m repro lint vgg11 -b 16 --workers 4
 
@@ -126,6 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compile", action="store_true",
                        help="compile cached graphs (fusion + constant "
                             "folding) and serve lowered CompiledPlans")
+
+    fleet = sub.add_parser(
+        "fleet-bench",
+        help="multi-tenant fleet bench: N model variants co-resident on "
+             "one device, continuous batching, replica autoscaler")
+    fleet.add_argument(
+        "--tenant", action="append", dest="tenants", metavar="SPEC",
+        help="tenant spec 'model[/SPLIT[@DEPTH]]:slo:rps', e.g. "
+             "'vgg11:interactive:800' or 'vgg11/4@0.5:standard:800'; "
+             "repeat per tenant (default: a vgg11 unsplit + vgg11 "
+             "split-4 + resnet18 trio)")
+    fleet.add_argument("--duration", type=float, default=2.0,
+                       help="arrival window in simulated seconds")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--mode", default="continuous",
+                       choices=["continuous", "flush", "compare"],
+                       help="batching mode; 'compare' runs both on the "
+                            "same trace and reports the p99 delta")
+    fleet.add_argument("--no-autoscale", action="store_true",
+                       help="disable the replica autoscaler")
+    fleet.add_argument("--compile", action="store_true",
+                       help="compile cached graphs in every tenant engine")
+    fleet.add_argument("--queue-depth", type=int, default=512,
+                       help="per-tenant admission quota (requests)")
 
     compile_ = sub.add_parser(
         "compile",
@@ -361,6 +386,108 @@ def _cmd_serve_bench(args) -> int:
     return 0 if metrics.completed_requests else 1
 
 
+def _parse_tenant_spec(spec: str, index: int):
+    """``model[/SPLIT[@DEPTH]]:slo:rps`` -> :class:`TenantConfig`."""
+    from .serve import SLO_CLASSES, TenantConfig
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise _UsageError(
+            f"tenant spec {spec!r} must be 'model[/SPLIT[@DEPTH]]:slo:rps'")
+    variant, slo_name, rps_text = parts
+    split, split_depth = 1, 0.5
+    model = variant
+    if "/" in variant:
+        model, split_text = variant.split("/", 1)
+        if "@" in split_text:
+            split_text, depth_text = split_text.split("@", 1)
+            try:
+                split_depth = float(depth_text)
+            except ValueError:
+                raise _UsageError(
+                    f"tenant spec {spec!r}: bad split depth "
+                    f"{depth_text!r}") from None
+        try:
+            split = int(split_text)
+        except ValueError:
+            raise _UsageError(
+                f"tenant spec {spec!r}: bad split count "
+                f"{split_text!r}") from None
+    if slo_name not in SLO_CLASSES:
+        raise _UsageError(
+            f"tenant spec {spec!r}: slo must be one of "
+            f"{sorted(SLO_CLASSES)}")
+    try:
+        rps = float(rps_text)
+    except ValueError:
+        raise _UsageError(
+            f"tenant spec {spec!r}: bad rps {rps_text!r}") from None
+    name = f"t{index}-{model}" + (f"-split{split}" if split > 1 else "")
+    return TenantConfig(name=name, model=model, split=split,
+                        split_depth=split_depth, slo=SLO_CLASSES[slo_name],
+                        rps=rps)
+
+
+def _cmd_fleet_bench(args) -> int:
+    from .serve import (
+        FleetBenchConfig, SLO_CLASSES, TenantConfig, render_fleet_report,
+        run_fleet_bench,
+    )
+
+    if args.tenants:
+        tenants = [_parse_tenant_spec(spec, index)
+                   for index, spec in enumerate(args.tenants)]
+    else:
+        tenants = [
+            TenantConfig(name="vgg11-unsplit", model="vgg11",
+                         slo=SLO_CLASSES["interactive"], rps=800),
+            TenantConfig(name="vgg11-split4", model="vgg11", split=4,
+                         slo=SLO_CLASSES["standard"], rps=800),
+            TenantConfig(name="resnet18", model="resnet18",
+                         slo=SLO_CLASSES["batch"], rps=400),
+        ]
+    for tenant in tenants:
+        tenant.queue_depth = args.queue_depth
+
+    def run(continuous: bool):
+        config = FleetBenchConfig(
+            tenants=tenants, duration=args.duration, seed=args.seed,
+            continuous=continuous, autoscale=not args.no_autoscale,
+            compile_plans=args.compile)
+        fleet, metrics = run_fleet_bench(config)
+        return config, fleet, metrics
+
+    modes = {"continuous": [True], "flush": [False],
+             "compare": [True, False]}[args.mode]
+    results = {}
+    for continuous in modes:
+        config, fleet, metrics = run(continuous)
+        results[continuous] = metrics
+        print(render_fleet_report(fleet, config, metrics))
+        print()
+    if args.mode == "compare":
+        print("continuous vs flush-only (same trace):")
+        worse = 0
+        for tenant in tenants:
+            cont = results[True].tenant(tenant.name)
+            flush = results[False].tenant(tenant.name)
+            if not cont.latency.samples or not flush.latency.samples:
+                print(f"  {tenant.name}: no completions to compare")
+                worse += 1
+                continue
+            cp99, fp99 = cont.latency.p(99), flush.latency.p(99)
+            print(f"  {tenant.name}: p99 {cp99 * 1e3:.2f} ms vs "
+                  f"{fp99 * 1e3:.2f} ms "
+                  f"({'better' if cp99 < fp99 else 'NOT better'})")
+            if cp99 >= fp99:
+                worse += 1
+        if worse:
+            return 1
+    completed = sum(metrics.tenant(t.name).completed_requests
+                    for metrics in results.values() for t in tenants)
+    return 0 if completed else 1
+
+
 def _cmd_compile(args) -> int:
     import numpy as np
 
@@ -487,6 +614,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "verify-plan": _cmd_verify_plan,
     "serve-bench": _cmd_serve_bench,
+    "fleet-bench": _cmd_fleet_bench,
     "compile": _cmd_compile,
     "lint": _cmd_lint,
     "info": _cmd_info,

@@ -10,7 +10,10 @@ amortize each kernel launch.  The batcher fires when either
   partial batch goes out so light traffic is not stuck behind a timer).
 
 Both conditions are evaluated on the simulated clock, so the same
-arrival trace always produces the same batches.
+arrival trace always produces the same batches.  Requests whose deadline
+has already passed are invisible to both conditions: they will be
+dropped at dispatch, so letting them arm the full-batch trigger or the
+flush timer would fire dispatches that then form short or empty batches.
 """
 
 from __future__ import annotations
@@ -38,7 +41,8 @@ class DynamicBatcher:
         self.flush_timeout = flush_timeout
 
     # ------------------------------------------------------------------
-    def ready_at(self, queue: AdmissionQueue) -> float:
+    def ready_at(self, queue: AdmissionQueue,
+                 now: float = float("-inf")) -> float:
         """Earliest simulated time a batch may be dispatched.
 
         With a full batch queued that moment has already passed — it is
@@ -46,25 +50,43 @@ class DynamicBatcher:
         not the latest admission: requests admitted after the crossing
         must not drift the dispatch timestamp later.  Otherwise it is the
         flush timer of the oldest waiting request.
+
+        ``now`` is the caller's current simulated time; requests already
+        expired at ``now`` count toward neither condition — they can
+        never be served, so a "full" batch padded out by corpses would
+        dispatch early and then come up short, and an expired oldest
+        request would anchor the flush timer at a moment that only
+        produces an empty flush.  When *every* queued request is expired
+        ``now`` itself is returned so the caller purges them immediately.
+        The default ``-inf`` treats nothing as expired (no-deadline
+        callers keep the original semantics).
         """
-        oldest = queue.oldest_arrival
-        if oldest is None:
+        if not len(queue):
             raise ValueError("ready_at on an empty queue")
-        crossing = self._full_batch_crossing(queue)
+        crossing = self._full_batch_crossing(queue, now)
         if crossing is not None:
             return crossing
-        return oldest + self.flush_timeout
+        for request in queue:
+            if not request.expired_at(now):
+                return request.arrival_time + self.flush_timeout
+        return now                     # only corpses queued: purge now
 
-    def _full_batch_crossing(self, queue: AdmissionQueue) -> Optional[float]:
+    def _full_batch_crossing(self, queue: AdmissionQueue,
+                             now: float = float("-inf")) -> Optional[float]:
         """Admission time of the request that completed a full batch.
 
         Scans the FIFO in admission order accumulating sizes; the first
         request to push the running total to ``max_batch_images`` is the
         crossing (its ``arrival_time`` is its admission time — the queue
-        admits synchronously).  ``None`` when no full batch is queued.
+        admits synchronously).  Requests already expired at ``now`` are
+        skipped: they will be dropped before the batch forms, so they
+        cannot contribute images to it.  ``None`` when no full batch is
+        queued.
         """
         images = 0
         for request in queue:
+            if request.expired_at(now):
+                continue
             images += request.size
             if images >= self.max_batch_images:
                 return request.arrival_time

@@ -92,9 +92,13 @@ class ServingEngine:
         cache_capacity: int = 64,
         seed: int = 0,
         compile_plans: bool = False,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if batch_cap < 1:
             raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte, got {memory_budget}")
         self.model = model
         self.device = device
         self.planner = HMMSPlanner(device=device, scheduler=scheduler)
@@ -104,6 +108,12 @@ class ServingEngine:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.batch_cap = batch_cap
+        #: Device bytes the capacity search may assume.  Defaults to the
+        #: whole device; a fleet hosting several engines on one device
+        #: hands each engine its share so co-resident tenants discover
+        #: capacities that fit *together*.
+        self.memory_budget = device.memory_capacity \
+            if memory_budget is None else memory_budget
         self.compile_plans = compile_plans
         self._pipeline = default_pipeline() if compile_plans else None
         self.cache = PlanCache(capacity=cache_capacity)
@@ -148,15 +158,26 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _build_entry(self, batch: int) -> CachedBatchPlan:
+    def _build_graph(self, batch: int) -> Graph:
+        """The graph the engine would serve for ``batch`` images.
+
+        Single source of truth for graph construction: capacity discovery
+        (:attr:`max_batch`) and plan building (:meth:`_build_entry`) both
+        call it, so the batch the search says fits is the batch the
+        engine actually executes — with ``compile_plans`` the compiled,
+        BN-folded graph, not its uncompiled twin.
+        """
         if self._pipeline is not None:
             graph = build_inference_graph(self.model, batch,
                                           eval_batchnorm=True)
             self._pipeline.run(
                 graph, params=GraphExecutor.parameters_from_model(
                     graph, self.model))
-        else:
-            graph = build_inference_graph(self.model, batch)
+            return graph
+        return build_inference_graph(self.model, batch)
+
+    def _build_entry(self, batch: int) -> CachedBatchPlan:
+        graph = self._build_graph(batch)
         plan = self.planner.plan(graph)
         if self.verify_plans:
             verify_plan(plan, device=self.device,
@@ -205,17 +226,21 @@ class ServingEngine:
             fitting: Optional[int] = None
             batch = 1
             while batch <= self.batch_cap:
-                plan = self.planner.plan(
-                    build_inference_graph(self.model, batch))
-                if not plan.fits(self.device.memory_capacity):
+                # Discovery must plan the *served* graph — the same
+                # construction (compile pipeline, eval batchnorm) that
+                # _build_entry uses — or the searched capacity belongs to
+                # a different graph than the one that executes.
+                plan = self.planner.plan(self._build_graph(batch))
+                if not plan.fits(self.memory_budget):
                     break
                 fitting = batch
                 batch *= 2
             if fitting is None:
                 raise ValueError(
                     f"{self.model.name}: even a single-image inference plan "
-                    f"exceeds device memory "
-                    f"({self.device.memory_capacity} bytes)"
+                    f"exceeds the memory budget "
+                    f"({self.memory_budget} bytes of "
+                    f"{self.device.memory_capacity} device bytes)"
                 )
             self._max_batch = fitting
         return self._max_batch
@@ -268,7 +293,10 @@ class ServingEngine:
         self._logits.clear()
         offset = 0
         for request in requests:
-            self._logits[request.id] = logits[offset:offset + request.size]
+            # Copy, don't slice: a view would pin the whole padded
+            # bucket-sized logits buffer alive until the next batch.
+            self._logits[request.id] = \
+                logits[offset:offset + request.size].copy()
             offset += request.size
         entry.executor.release_intermediates()
 

@@ -17,11 +17,16 @@ from typing import List, Optional
 import numpy as np
 
 from .engine import ServingEngine
+from .fleet import FleetMetrics, FleetScheduler, TenantConfig
 from .metrics import ServingMetrics
 from .request import Request
 from .server import Server
 
-__all__ = ["BenchConfig", "poisson_arrivals", "run_bench", "render_report"]
+__all__ = [
+    "BenchConfig", "poisson_arrivals", "run_bench", "render_report",
+    "FleetBenchConfig", "fleet_arrivals", "run_fleet_bench",
+    "render_fleet_report",
+]
 
 
 @dataclass
@@ -77,6 +82,82 @@ def run_bench(engine: ServingEngine,
 
 
 # ----------------------------------------------------------------------
+# Fleet benches
+# ----------------------------------------------------------------------
+@dataclass
+class FleetBenchConfig:
+    """One fleet bench run, fully determined by its fields.
+
+    Each tenant offers its own Poisson stream at its configured ``rps``;
+    traces are drawn from per-tenant seeded generators and merged, so a
+    ``(tenants, duration, seed)`` triple names one exact multi-tenant
+    trace regardless of batching mode — which is what makes the
+    continuous-vs-flush p99 comparison apples to apples.
+    """
+
+    tenants: List[TenantConfig]
+    duration: float = 5.0
+    seed: int = 0
+    continuous: bool = True
+    autoscale: bool = True
+    compile_plans: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("a fleet bench needs at least one tenant")
+        if self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration}")
+
+
+def fleet_arrivals(config: FleetBenchConfig) -> List[Request]:
+    """The merged multi-tenant arrival trace (sorted by arrival time).
+
+    Every tenant draws from its own generator seeded by ``(seed, tenant
+    index)``, so adding a tenant never perturbs the other tenants'
+    arrival instants.  Request deadlines come from each tenant's SLO
+    class; ids are assigned in merged order (globally unique).
+    """
+    arrivals: List[Request] = []
+    for index, tenant in enumerate(config.tenants):
+        rng = np.random.default_rng([config.seed, index])
+        now = 0.0
+        while True:
+            now += rng.exponential(1.0 / tenant.rps)
+            if now >= config.duration:
+                break
+            arrivals.append(Request(
+                id=0, arrival_time=now, size=tenant.request_size,
+                deadline=tenant.slo.absolute_deadline(now),
+                tenant=tenant.name))
+    arrivals.sort(key=lambda r: r.arrival_time)
+    for index, request in enumerate(arrivals):
+        request.id = index
+    return arrivals
+
+
+def run_fleet_bench(config: FleetBenchConfig,
+                    fleet: Optional[FleetScheduler] = None,
+                    ) -> "tuple[FleetScheduler, FleetMetrics]":
+    """Run one fleet bench; returns the (drained) scheduler + metrics.
+
+    Builds a fresh :class:`FleetScheduler` unless one is passed in (a
+    warm fleet reuses its plan cache across runs).  The accounting
+    invariant is re-checked here per tenant and globally even though
+    ``FleetScheduler.run`` already enforces it — the bench is the
+    contract's last line of defense, same as ``run_bench``.
+    """
+    if fleet is None:
+        fleet = FleetScheduler(config.tenants,
+                               continuous=config.continuous,
+                               autoscale=config.autoscale,
+                               compile_plans=config.compile_plans)
+    metrics = fleet.run(fleet_arrivals(config))
+    metrics.check_accounting(fleet.still_queued())
+    return fleet, metrics
+
+
+# ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
 def render_report(engine: ServingEngine, config: BenchConfig,
@@ -114,4 +195,40 @@ def render_report(engine: ServingEngine, config: BenchConfig,
     if metrics.latency.samples:
         lines.append("latency histogram:")
         lines.append(metrics.latency.render())
+    return "\n".join(lines)
+
+
+def render_fleet_report(fleet: FleetScheduler, config: FleetBenchConfig,
+                        metrics: FleetMetrics) -> str:
+    """The one-screen fleet-bench report: one block per tenant."""
+    gib = 1 << 30
+    lines: List[str] = []
+    mode = "continuous" if config.continuous else "flush-only"
+    lines.append(f"fleet-bench — {len(config.tenants)} tenants on "
+                 f"{fleet.device.name} ({mode} batching, "
+                 f"autoscale {'on' if config.autoscale else 'off'}, "
+                 f"seed {config.seed})")
+    lines.append(f"device memory    : {fleet.ledger.capacity / gib:.1f} GiB "
+                 f"capacity, {fleet.ledger.peak_reserved / gib:.2f} GiB "
+                 f"peak reserved, {fleet.metrics.scale_up_refusals} "
+                 f"scale-ups refused by the ledger")
+    caps = fleet.bucket_caps()
+    for tenant in config.tenants:
+        name = tenant.name
+        m = metrics.tenant(name)
+        lines.append(f"--- {name} ({tenant.variant}, slo {tenant.slo.name}, "
+                     f"{tenant.rps:g} req/s offered) ---")
+        lines.append(f"  bucket cap     : {caps[name]} images "
+                     f"(shared-device partition), replicas peak "
+                     f"{metrics.peak_replicas[name]} "
+                     f"(+{metrics.scale_ups[name]}/-"
+                     f"{metrics.scale_downs[name]} scale events)")
+        lines.append(f"  requests       : {m.arrived} arrived / "
+                     f"{m.admitted} admitted / {m.completed_requests} "
+                     f"completed / {m.rejected_queue_full} rejected / "
+                     f"{m.expired} expired")
+        lines.append(f"  batching       : {m.batches} batches formed, "
+                     f"{metrics.joins[name]} continuous joins, "
+                     f"{m.empty_flushes} empty flushes")
+        lines.append(f"  latency        : {m.latency.summary()}")
     return "\n".join(lines)

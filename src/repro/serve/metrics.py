@@ -111,12 +111,19 @@ class ServingMetrics:
         images = sum(r.size for r in requests)
         self.batch_sizes[images] += 1
         for request in requests:
-            request.completion_time = completion_time
-            self.completed_requests += 1
-            self.completed_images += request.size
-            self.latency.record(request.latency)
-            self.queue_wait.record(request.dispatch_time
-                                   - request.arrival_time)
+            self.record_completion(request, completion_time)
+
+    def record_completion(self, request: Request,
+                          completion_time: float) -> None:
+        """One request finished.  Under continuous batching requests
+        leave an in-flight batch individually (each needs its own full
+        pass of wavefront steps), so completion is recorded per request
+        rather than per batch."""
+        request.completion_time = completion_time
+        self.completed_requests += 1
+        self.completed_images += request.size
+        self.latency.record(request.latency)
+        self.queue_wait.record(request.dispatch_time - request.arrival_time)
 
     # ------------------------------------------------------------------
     def check_accounting(self, still_queued: int = 0) -> None:

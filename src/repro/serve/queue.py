@@ -44,6 +44,7 @@ class AdmissionQueue:
         self.max_depth = max_depth
         self.max_request_size = max_request_size
         self._requests: Deque[Request] = deque()
+        self._pending_images = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -54,7 +55,13 @@ class AdmissionQueue:
 
     @property
     def pending_images(self) -> int:
-        return sum(request.size for request in self._requests)
+        """Images waiting in the queue — O(1), maintained incrementally.
+
+        The continuous-batching join loop reads this between every pair of
+        wavefront steps, so a ``sum`` over the deque would turn each step
+        boundary into an O(depth) scan.
+        """
+        return self._pending_images
 
     @property
     def oldest_arrival(self) -> Optional[float]:
@@ -81,10 +88,24 @@ class AdmissionQueue:
         if self.full:
             return False
         self._requests.append(request)
+        self._pending_images += request.size
         return True
 
     def pop(self) -> Request:
-        return self._requests.popleft()
+        """Remove and return the head request; raises ``IndexError`` when
+        empty (callers guard with ``len(queue)``)."""
+        request = self._requests.popleft()
+        self._pending_images -= request.size
+        return request
 
-    def peek(self) -> Optional[Request]:
-        return self._requests[0] if self._requests else None
+    def peek(self) -> Request:
+        """The head request without removing it.
+
+        Raises ``IndexError`` on an empty queue instead of returning
+        ``None``: every call site dereferences the result, so an
+        ``Optional`` return is an implicit-``None`` hole rather than a
+        usable signal — guard with ``len(queue)`` first.
+        """
+        if not self._requests:
+            raise IndexError("peek on an empty AdmissionQueue")
+        return self._requests[0]

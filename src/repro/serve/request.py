@@ -28,6 +28,7 @@ class Request:
     arrival_time: float
     size: int = 1                       # images in this request
     deadline: Optional[float] = None
+    tenant: Optional[str] = None        # owning tenant in a fleet (or None)
 
     # Filled in by the runtime as the request moves through the pipeline.
     dispatch_time: Optional[float] = None

@@ -49,6 +49,7 @@ class Server:
                                     max_request_size=max_images)
         self.metrics = ServingMetrics()
         self.engine_free = 0.0
+        self.clock = 0.0              # last event time (arrival or dispatch)
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> bool:
@@ -77,12 +78,14 @@ class Server:
         total = len(arrivals)
         while index < total or len(self.queue):
             if not len(self.queue):
+                self.clock = max(self.clock, arrivals[index].arrival_time)
                 self.submit(arrivals[index])
                 index += 1
                 continue
             dispatch_at = max(self.engine_free,
-                              self.batcher.ready_at(self.queue))
+                              self.batcher.ready_at(self.queue, self.clock))
             if index < total and arrivals[index].arrival_time <= dispatch_at:
+                self.clock = max(self.clock, arrivals[index].arrival_time)
                 self.submit(arrivals[index])
                 index += 1
                 continue
@@ -91,6 +94,7 @@ class Server:
 
     # ------------------------------------------------------------------
     def _dispatch(self, now: float) -> None:
+        self.clock = max(self.clock, now)
         batch = self.batcher.form_batch(self.queue, now, self.metrics)
         if not batch:
             # Every waiting request expired before the flush fired.

@@ -388,6 +388,169 @@ class TestRequestAccounting:
                                    + metrics.completed_requests)
 
 
+class TestExpiredAwareReadyAt:
+    """Regression: requests already expired at ``now`` must count toward
+    neither the full-batch threshold nor the flush-timer anchor."""
+
+    def test_expired_requests_do_not_complete_a_batch(self):
+        # Three of four queued requests are corpses at now=1.0; the one
+        # survivor cannot fill a 4-image batch, so the crossing must be
+        # None and ready_at falls back to the survivor's flush timer.
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        for i in range(3):
+            queue.offer(Request(id=i, arrival_time=0.1 * i, deadline=0.5))
+        queue.offer(Request(id=3, arrival_time=0.9))
+        now = 1.0
+        assert batcher._full_batch_crossing(queue, now) is None
+        assert batcher.ready_at(queue, now) == pytest.approx(0.91)
+
+    def test_expired_oldest_does_not_anchor_flush_timer(self):
+        # Pre-fix the expired head anchored the timer at 0.0 + 0.01 —
+        # an instant that can only produce an empty flush.
+        queue = AdmissionQueue(max_depth=16, max_request_size=8)
+        batcher = DynamicBatcher(max_batch_images=8, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=0.0, deadline=0.05))
+        queue.offer(Request(id=1, arrival_time=0.2))
+        assert batcher.ready_at(queue, now=0.1) == pytest.approx(0.21)
+
+    def test_all_expired_returns_now_for_immediate_purge(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=8)
+        batcher = DynamicBatcher(max_batch_images=8, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=0.0, deadline=0.001))
+        queue.offer(Request(id=1, arrival_time=0.0, deadline=0.002))
+        now = 1.0
+        assert batcher.ready_at(queue, now) == now
+        metrics = ServingMetrics()
+        assert batcher.form_batch(queue, now, metrics) == []
+        assert metrics.expired == 2 and not len(queue)
+
+    def test_crossing_skips_corpses_but_counts_survivors(self):
+        # Sizes 2 (expired) + 2 + 2: the *third* request completes the
+        # 4-image batch once the corpse is skipped.
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        queue.offer(Request(id=0, arrival_time=0.0, size=2, deadline=0.1))
+        queue.offer(Request(id=1, arrival_time=0.3, size=2))
+        queue.offer(Request(id=2, arrival_time=0.5, size=2))
+        assert batcher.ready_at(queue, now=0.6) == pytest.approx(0.5)
+
+    def test_default_now_preserves_no_deadline_semantics(self):
+        # Callers without a clock (the original single-tenant tests) get
+        # the legacy behavior: nothing is treated as expired.
+        queue = AdmissionQueue(max_depth=16, max_request_size=4)
+        batcher = DynamicBatcher(max_batch_images=4, flush_timeout=0.01)
+        for i in range(4):
+            queue.offer(Request(id=i, arrival_time=float(i), deadline=0.5))
+        assert batcher.ready_at(queue) == pytest.approx(3.0)
+
+
+class TestDiscoveryServesTheSameGraph:
+    """Regression: the Figure-10 capacity search must plan the graph the
+    engine will actually execute.  With ``compile_plans`` the served
+    graph is compiled (BN folded, chains fused); pre-fix discovery
+    planned the uncompiled twin, so the searched capacity belonged to a
+    different graph."""
+
+    def _spy_plans(self, engine):
+        seen = []
+        original = engine.planner.plan
+
+        def spying(graph):
+            seen.append(graph)
+            return original(graph)
+
+        engine.planner.plan = spying
+        return seen
+
+    def test_discovery_plans_the_compiled_graph(self):
+        engine = make_engine(compile_plans=True)
+        seen = self._spy_plans(engine)
+        _ = engine.max_batch
+        assert seen                        # discovery planned something
+        served_ops = sorted(op.op_type
+                            for op in engine.entry_for(1).graph.ops)
+        discovery_ops = sorted(op.op_type for op in seen[0].ops)
+        assert discovery_ops == served_ops
+        # The compiled graph is actually different from the raw builder
+        # output — otherwise this test couldn't catch the regression.
+        raw_ops = sorted(
+            op.op_type
+            for op in build_inference_graph(engine.model, 1).ops)
+        assert discovery_ops != raw_ops
+
+    def test_memory_budget_bounds_discovery(self):
+        # A fleet hands each engine a slice of the device; the search
+        # must respect the slice, not the whole card.
+        whole = make_engine()
+        budget = whole.entry_for(whole.max_batch).plan.device_peak - 1
+        capped = make_engine(memory_budget=budget)
+        assert capped.max_batch < whole.max_batch
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="memory budget"):
+            _ = make_engine(memory_budget=1).max_batch
+
+
+class TestNumericLogitsOwnership:
+    """Regression: ``_run_numeric`` must copy each request's logits
+    slice.  A view would pin the whole padded bucket-sized buffer (and
+    through it the executor's value table) alive until the next batch."""
+
+    def test_logits_own_their_memory(self):
+        engine = make_engine(numeric=True)
+        requests = [Request(id=0, arrival_time=0.0, size=2),
+                    Request(id=1, arrival_time=0.0, size=1)]
+        engine.execute(requests)
+        for request in requests:
+            assert engine.logits_for(request).base is None
+
+    def test_logits_survive_release_of_intermediates(self):
+        engine = make_engine(numeric=True)
+        request = Request(id=0, arrival_time=0.0, size=3)
+        engine.execute([request])
+        before = engine.logits_for(request).copy()
+        # execute() already released intermediates; the retained logits
+        # must be stable, finite data — not a view of freed storage.
+        after = engine.logits_for(request)
+        assert np.array_equal(before, after)
+        assert np.isfinite(after).all()
+
+
+class TestQueuePeekAndPendingImages:
+    """Regression: ``peek`` raises on empty (no Optional hole) and
+    ``pending_images`` is an O(1) counter that tracks offers and pops."""
+
+    def test_peek_empty_raises(self):
+        queue = AdmissionQueue(max_depth=4, max_request_size=8)
+        with pytest.raises(IndexError, match="empty AdmissionQueue"):
+            queue.peek()
+
+    def test_peek_returns_head_without_removal(self):
+        queue = AdmissionQueue(max_depth=4, max_request_size=8)
+        queue.offer(Request(id=0, arrival_time=0.0))
+        queue.offer(Request(id=1, arrival_time=0.1))
+        assert queue.peek().id == 0
+        assert len(queue) == 2            # unchanged
+
+    def test_pending_images_tracks_mixed_sizes(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=8)
+        sizes = [3, 1, 5, 2, 8, 1]
+        for i, size in enumerate(sizes):
+            queue.offer(Request(id=i, arrival_time=0.0, size=size))
+            assert queue.pending_images == sum(r.size for r in queue)
+        while len(queue):
+            queue.pop()
+            assert queue.pending_images == sum(r.size for r in queue)
+        assert queue.pending_images == 0
+
+    def test_rejected_offers_do_not_count(self):
+        queue = AdmissionQueue(max_depth=1, max_request_size=8)
+        queue.offer(Request(id=0, arrival_time=0.0, size=2))
+        assert not queue.offer(Request(id=1, arrival_time=0.0, size=5))
+        assert queue.pending_images == 2
+
+
 class TestEngineParallelExecutor:
     def test_workers_produce_byte_identical_logits(self):
         serial = make_engine(numeric=True)
