@@ -1,0 +1,49 @@
+"""Mesh scaling — the measured Figure-11 twin as a regression benchmark.
+
+Runs the full measured sweep (data-parallel baseline vs Split-CNN+HMMS
+on a 4-device ring, gradient buckets as FIFO link transfers) and holds
+the shape claims the analytical model makes: the measured speedup curve
+is monotone non-increasing in bandwidth, never drops below the 1x floor
+(the split variant syncs 6x less often, so more bandwidth can only
+erode its advantage, not invert it), and every point sits inside its
+closed-form analytical bracket.
+
+``REPRO_SMOKE=1`` swaps VGG-19/batch-64 for VGG-11/batch-16 so CI
+finishes in seconds; the committed snapshot under ``benchmarks/results``
+records the full configuration.
+"""
+
+import os
+
+from repro.experiments import render_fig11_measured, run_fig11_measured
+from repro.models import vgg11, vgg19
+
+from _util import run_once, save_and_print
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+
+def test_mesh_scaling(benchmark):
+    if SMOKE:
+        run = lambda: run_fig11_measured(  # noqa: E731
+            devices=4, topology="ring", base_batch=16,
+            model_factory=vgg11, split_depth=0.75)
+    else:
+        run = lambda: run_fig11_measured(  # noqa: E731
+            devices=4, topology="ring", base_batch=64,
+            model_factory=vgg19, split_depth=0.75)
+    result = run_once(benchmark, run)
+    if not SMOKE:
+        save_and_print("mesh_scaling", render_fig11_measured(result))
+
+    # Every measured step sits in its analytical bracket, and the curve
+    # is monotone non-increasing in bandwidth.
+    result.check()
+    result.assert_monotone()
+
+    speedups = [p.measured_speedup for p in result.points]
+    assert min(speedups) >= 1.0, \
+        f"measured speedup fell below the 1x floor: {min(speedups):.4f}"
+    # Low-bandwidth limit approaches the 6x step-count ratio.
+    low = max(result.points, key=lambda p: p.measured_speedup)
+    assert low.measured_speedup > 4.0

@@ -11,8 +11,13 @@ Three passes over a serialized :class:`~repro.graph.ir.Graph`:
 - **determinism** (``SCA2xx``): frozen gradient reductions and unique
   per-op seeds for stochastic ops.
 
+The concurrency pass extends across devices for mesh plans
+(``SCA104``/``SCA105`` via :func:`detect_mesh_hazards` — invoked
+directly, mesh plans are not single graphs).
+
 Entry points: :func:`analyze_graph` (library), ``repro lint`` (CLI),
-``GraphExecutor(..., preflight=True)`` (executor guard).
+``GraphExecutor(..., preflight=True)`` (executor guard),
+:func:`detect_mesh_hazards` (``repro mesh-bench`` guard).
 """
 
 from __future__ import annotations
@@ -27,11 +32,12 @@ from .diagnostics import (
     AnalysisReport, Diagnostic, DiagnosticSpec, GraphAnalysisError,
 )
 from .lint import lint_graph
+from .mesh import analyze_mesh_plan, detect_mesh_hazards
 from .races import ancestor_masks, detect_races
 
 __all__ = [
     "analyze_graph", "lint_graph", "detect_races", "audit_determinism",
-    "ancestor_masks",
+    "ancestor_masks", "detect_mesh_hazards", "analyze_mesh_plan",
     "AnalysisReport", "Diagnostic", "DiagnosticSpec", "GraphAnalysisError",
     "CODES", "SEV_ERROR", "SEV_WARNING",
     "PASS_LINT", "PASS_RACES", "PASS_DETERMINISM", "ALL_PASSES",

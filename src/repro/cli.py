@@ -19,6 +19,7 @@ plus the serving-side bench, the graph compiler, and the static analyzer:
     python -m repro fleet-bench --mode compare
     python -m repro compile vgg11 --split 4 --check
     python -m repro lint vgg11 -b 16 --workers 4
+    python -m repro mesh-bench vgg19 --devices 4 --topology ring --sweep
 
 Exit codes are uniform across commands: ``0`` clean, ``1`` the command
 ran but found problems (plan violations, lint errors, zero completed
@@ -62,6 +63,46 @@ def build_parser() -> argparse.ArgumentParser:
     fig11 = sub.add_parser("fig11", help="Figure 11: distributed speedup")
     fig11.add_argument("--factor", type=int, default=6,
                        help="split batch enlargement factor")
+    fig11.add_argument("--measured", action="store_true",
+                       help="also run the mesh simulator at every paper "
+                            "bandwidth and print analytical vs measured "
+                            "side by side (asserts the analytical bracket)")
+    fig11.add_argument("--devices", type=int, default=4,
+                       help="mesh size for --measured")
+    fig11.add_argument("--topology", default="ring",
+                       choices=["ring", "bus", "p2p"],
+                       help="mesh topology for --measured")
+
+    mesh = sub.add_parser(
+        "mesh-bench",
+        help="measured distributed execution over a simulated device mesh")
+    mesh.add_argument("model", nargs="?", default="vgg19")
+    mesh.add_argument("--devices", type=int, default=4)
+    mesh.add_argument("--topology", default="ring",
+                      choices=["ring", "bus", "p2p"])
+    mesh.add_argument("--bandwidth", type=float, default=10.0,
+                      help="per-link bandwidth in Gbit/s")
+    mesh.add_argument("--sweep", action="store_true",
+                      help="sweep the paper's 0.5-32 Gbit/s range and "
+                           "print the measured Fig-11 twin (data strategy)")
+    mesh.add_argument("--strategy", default="data",
+                      choices=["data", "spatial", "pipeline"],
+                      help="partitioning: data = training replicas + "
+                           "gradient allreduce; spatial = split patches "
+                           "across devices (inference); pipeline = layer "
+                           "stages (inference)")
+    mesh.add_argument("-b", "--batch", type=int, default=64,
+                      help="per-device batch (data) or global batch "
+                           "(spatial/pipeline)")
+    mesh.add_argument("--split", type=int, default=4,
+                      help="total patches (1,2,3,4,6,9); used by spatial "
+                           "and the --sweep split model")
+    mesh.add_argument("--split-depth", type=float, default=0.75)
+    mesh.add_argument("--factor", type=int, default=6,
+                      help="--sweep split batch enlargement factor")
+    mesh.add_argument("--seed", type=int, default=None,
+                      help="shuffle event tie-breaking order (results "
+                           "must be identical for every seed)")
 
     accuracy = sub.add_parser(
         "accuracy", help="Figures 4-6: accuracy studies (trains models)")
@@ -242,7 +283,97 @@ def _cmd_fig10(args) -> int:
 
 def _cmd_fig11(args) -> int:
     from .experiments import render_fig11, run_fig11
-    print(render_fig11(run_fig11(split_batch_factor=args.factor)))
+    if not args.measured:
+        print(render_fig11(run_fig11(split_batch_factor=args.factor)))
+        return 0
+    from .experiments import render_fig11_measured, run_fig11_measured
+    result = run_fig11_measured(devices=args.devices,
+                                topology=args.topology,
+                                split_batch_factor=args.factor)
+    print(render_fig11_measured(result))
+    try:
+        result.check()
+        print("analytical bracket : holds at every bandwidth")
+    except AssertionError as error:
+        print(f"analytical bracket : VIOLATED — {error}")
+        return 1
+    return 0
+
+
+def _cmd_mesh_bench(args) -> int:
+    from .analysis import detect_mesh_hazards
+    from .mesh import (
+        MeshPartitioner, MeshSimulator, build_mesh, run_spatial_numeric,
+    )
+
+    if args.devices < 1:
+        raise _UsageError("--devices must be >= 1")
+
+    if args.sweep:
+        from .experiments import render_fig11_measured, run_fig11_measured
+
+        def factory():
+            return _build_named_model(args.model, 0.0, 1)
+
+        from .experiments.accuracy import GRID_OF_SPLITS
+        grid = GRID_OF_SPLITS.get(args.split)
+        if grid is None:
+            raise _UsageError(
+                f"--split must be one of {sorted(GRID_OF_SPLITS)}")
+        result = run_fig11_measured(
+            devices=args.devices, topology=args.topology,
+            split_batch_factor=args.factor, model_factory=factory,
+            split_depth=args.split_depth, num_splits=grid,
+            base_batch=args.batch, shuffle_seed=args.seed)
+        print(render_fig11_measured(result))
+        print("plan verification  : ok (all per-device plans)")
+        print("cross-device pass  : clean (SCA104/105, zero hazards)")
+        try:
+            result.check()
+            result.assert_monotone()
+            print("measured curve     : monotone in bandwidth, "
+                  "analytical bracket holds")
+        except AssertionError as error:
+            print(f"measured curve     : CHECK FAILED — {error}")
+            return 1
+        return 0
+
+    depth = args.split_depth if args.strategy == "spatial" else 0.0
+    model = _build_named_model(args.model, depth, args.split)
+    partitioner = MeshPartitioner(args.devices, topology=args.topology)
+    if args.strategy == "data":
+        mesh_plan = partitioner.data(model, args.batch)
+    elif args.strategy == "spatial":
+        mesh_plan = partitioner.spatial(model, args.batch)
+    else:
+        mesh_plan = partitioner.pipeline(model, args.batch)
+
+    try:
+        mesh_plan.verify()
+        print("plan verification  : ok (all per-device plans)")
+    except Exception as error:
+        print(f"plan verification  : FAILED — {error}")
+        return 1
+    hazards = detect_mesh_hazards(mesh_plan)
+    if hazards:
+        print(f"cross-device pass  : {len(hazards)} hazard(s)")
+        for finding in hazards:
+            print(f"  {finding.code}: {finding.message}")
+        return 1
+    print("cross-device pass  : clean (SCA104/105, zero hazards)")
+
+    mesh = build_mesh(args.devices, args.topology,
+                      bandwidth_gbit=args.bandwidth)
+    result = MeshSimulator(mesh, shuffle_seed=args.seed).run(mesh_plan)
+    print(result.render())
+    if args.strategy == "spatial":
+        import numpy as np
+        size = model.input_size
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((args.batch, 3, size, size))
+        merged = run_spatial_numeric(mesh_plan, x)["logits"]
+        print(f"merged logits      : shape {merged.shape} "
+              f"(byte-identical to the single-device split graph)")
     return 0
 
 
@@ -610,6 +741,7 @@ _COMMANDS = {
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
+    "mesh-bench": _cmd_mesh_bench,
     "accuracy": _cmd_accuracy,
     "plan": _cmd_plan,
     "verify-plan": _cmd_verify_plan,

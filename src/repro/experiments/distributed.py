@@ -4,6 +4,11 @@ Measures single-node forward/backward times for baseline VGG-19 and its
 Split-CNN+HMMS variant on the simulator (exactly §6.4's methodology of
 extrapolating from measured single-node performance), then sweeps the
 network bandwidth through the paper's 0.5-32 Gbit/s range.
+
+The *measured* twin of this figure — the same sweep executed on a
+simulated device mesh instead of plugged into the closed-form model —
+lives in :mod:`repro.experiments.mesh_fig11`; it reuses
+:func:`profile_plan` so both columns derive from identical replays.
 """
 
 from __future__ import annotations
@@ -14,13 +19,18 @@ from typing import List, Sequence, Tuple
 from ..core import to_split_cnn
 from ..distributed import TrainingProfile, speedup_curve
 from ..graph import build_training_graph
+from ..graph.ir import Graph
 from ..hmms import HMMSPlanner
+from ..hmms.planner import MemoryPlan
 from ..models import vgg19
 from ..nn import init
 from ..profile import CostModel, DeviceSpec, P100_NVLINK
 from .tables import format_series
 
-__all__ = ["Fig11Result", "run_fig11", "render_fig11", "PAPER_BANDWIDTHS"]
+__all__ = [
+    "Fig11Result", "run_fig11", "render_fig11", "PAPER_BANDWIDTHS",
+    "profile_plan",
+]
 
 PAPER_BANDWIDTHS: Tuple[float, ...] = (0.5, 1, 2, 4, 8, 10, 16, 32)
 
@@ -31,37 +41,68 @@ class Fig11Result:
     split: TrainingProfile
     curve: List[Tuple[float, float]]
 
-    def speedup_at(self, gbit: float) -> float:
-        for bandwidth, speedup in self.curve:
-            if abs(bandwidth - gbit) < 1e-9:
-                return speedup
-        raise KeyError(f"bandwidth {gbit} not in the sweep")
+    def speedup_at(self, gbit: float, tolerance: float = 0.25) -> float:
+        """Speedup at the sweep point nearest ``gbit``.
+
+        ``tolerance`` is relative: the nearest bandwidth must lie within
+        ``tolerance * max(gbit, nearest)`` (floats that went through
+        parsing or arithmetic still resolve; genuinely absent points
+        raise ``KeyError``).  An empty curve also raises.
+        """
+        if not self.curve:
+            raise KeyError("the sweep is empty")
+        bandwidth, speedup = min(
+            self.curve, key=lambda point: abs(point[0] - gbit))
+        if abs(bandwidth - gbit) > tolerance * max(abs(gbit),
+                                                   abs(bandwidth), 1e-12):
+            raise KeyError(
+                f"bandwidth {gbit} not in the sweep (nearest: {bandwidth})")
+        return speedup
 
 
-def _profile_model(model, batch: int, device: DeviceSpec,
-                   scheduler: str) -> TrainingProfile:
-    graph = build_training_graph(model, batch)
-    plan = HMMSPlanner(device=device, scheduler=scheduler).plan(graph)
-    # Split forward / backward wall time: simulate and apportion the stall
-    # time to the phase it occurs in by simulating phases via the cost model
-    # plus the measured stall distribution.
+def _apportion_overhead(forward: float, backward: float,
+                        overhead: float) -> Tuple[float, float]:
+    """Split simulator overhead across the two phases, by kernel weight.
+
+    A degenerate profile (both phases zero — e.g. an empty graph) splits
+    evenly instead of dividing by zero.
+    """
+    total_kernel = forward + backward
+    if total_kernel <= 0.0:
+        return forward + overhead / 2.0, backward + overhead / 2.0
+    return (forward + overhead * (forward / total_kernel),
+            backward + overhead * (backward / total_kernel))
+
+
+def profile_plan(name: str, batch: int, graph: Graph, plan: MemoryPlan,
+                 device: DeviceSpec) -> TrainingProfile:
+    """Forward/backward wall seconds of one already-planned step.
+
+    Simulates the plan, splits kernel time at the forward/backward
+    boundary via the cost model, and apportions the (small) stall
+    overhead proportionally.  Shared by the analytical Fig-11 and the
+    measured mesh twin so both see the same per-phase seconds.
+    """
     from ..sim import GPUSimulator
 
     result = GPUSimulator(device).run(plan)
     cost = CostModel(device)
     forward = cost.total_time(graph, "forward")
     backward = cost.total_time(graph, "backward")
-    # Apportion the (small) stall overhead proportionally.
     overhead = result.total_time - (forward + backward)
-    total_kernel = forward + backward
-    forward += overhead * (forward / total_kernel)
-    backward += overhead * (backward / total_kernel)
-    gradient_bytes = graph.parameter_bytes()
+    forward, backward = _apportion_overhead(forward, backward, overhead)
     return TrainingProfile(
-        name=model.name, batch_size=batch,
+        name=name, batch_size=batch,
         forward_seconds=forward, backward_seconds=backward,
-        gradient_bytes=gradient_bytes,
+        gradient_bytes=graph.parameter_bytes(),
     )
+
+
+def _profile_model(model, batch: int, device: DeviceSpec,
+                   scheduler: str) -> TrainingProfile:
+    graph = build_training_graph(model, batch)
+    plan = HMMSPlanner(device=device, scheduler=scheduler).plan(graph)
+    return profile_plan(model.name, batch, graph, plan, device)
 
 
 def run_fig11(

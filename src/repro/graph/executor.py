@@ -266,16 +266,40 @@ class GraphExecutor:
             targets: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
         """Execute every op; returns {'loss': ..., 'grad(<param>)': ...}
         for training graphs, {'logits': ...} for inference graphs."""
-        self.release_intermediates()
         input_tensor = next(t for t in self.graph.tensors.values()
                             if t.kind == "input")
-        if tuple(input_array.shape) != input_tensor.shape:
+        return self.run_with_inputs({input_tensor.id: input_array},
+                                    targets=targets)
+
+    def run_with_inputs(self, inputs: Dict[int, np.ndarray],
+                        targets: Optional[np.ndarray] = None,
+                        ) -> Dict[str, np.ndarray]:
+        """Execute with every ``kind == "input"`` tensor bound explicitly.
+
+        Partitioned graphs (mesh patch chains, pipeline stages) carry
+        several input tensors — the per-patch slices and the remote patch
+        results arriving from other devices; :meth:`run` is the
+        single-input special case.  Raises on missing, unknown, or
+        mis-shaped bindings.
+        """
+        self.release_intermediates()
+        input_ids = {t.id for t in self.graph.tensors.values()
+                     if t.kind == "input"}
+        missing = input_ids - set(inputs)
+        if missing:
+            names = sorted(self.graph.tensors[i].name for i in missing)
+            raise ValueError(f"unbound graph inputs: {names}")
+        unknown = set(inputs) - input_ids
+        if unknown:
             raise ValueError(
-                f"input shape {input_array.shape} != graph input "
-                f"{input_tensor.shape}"
-            )
-        self.values[input_tensor.id] = np.asarray(input_array,
-                                                  dtype=np.float64)
+                f"tensor ids {sorted(unknown)} are not graph inputs")
+        for tensor_id, array in inputs.items():
+            tensor = self.graph.tensors[tensor_id]
+            if tuple(np.shape(array)) != tensor.shape:
+                raise ValueError(
+                    f"input {tensor.name!r} shape {np.shape(array)} != "
+                    f"graph input {tensor.shape}")
+            self.values[tensor_id] = np.asarray(array, dtype=np.float64)
         self.targets = targets
         if self.workers > 1:
             self._run_wavefront()

@@ -1,0 +1,178 @@
+"""Device-mesh topology: simulated devices connected by contended links.
+
+A :class:`DeviceMesh` is N simulated accelerators (each carrying its own
+:class:`~repro.profile.device.DeviceSpec`, and — once partitioned — its
+own HMMS memory plan and pools) wired together by :class:`Link` objects.
+A link is a *serial* resource: one transfer occupies it at a time, so
+concurrent transfers queue FIFO (modelled by the
+:class:`~repro.mesh.simulator.MeshSimulator`; the link itself is frozen
+topology data).
+
+Three topologies, matching the shapes §6.4's allreduce bound assumes and
+the networked-microcontroller deployment uses:
+
+- ``ring``  — two directed links per device (to each neighbor); routes
+  take the shorter direction, store-and-forward per hop;
+- ``bus``   — one shared half-duplex link every pair communicates over
+  (maximum contention: every transfer serializes);
+- ``p2p``   — a dedicated directed link per ordered device pair (no
+  cross-pair contention at all).
+
+Bandwidths follow the paper's Figure-11 axis and are given in Gbit/s;
+``efficiency`` is the paper's α (0.8): achievable fraction of the line
+rate, applied to the wire time of every transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..profile.device import DeviceSpec, P100_NVLINK
+
+__all__ = ["Link", "MeshDevice", "DeviceMesh", "build_mesh", "TOPOLOGIES"]
+
+TOPOLOGIES = ("ring", "bus", "p2p")
+
+#: Default per-transfer link setup latency (5 µs — same order as the
+#: kernel-launch overhead the device model charges per op).
+DEFAULT_LATENCY = 5e-6
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed (or shared, for the bus) communication channel.
+
+    ``bandwidth`` is the line rate in bytes/second; ``efficiency`` is the
+    achievable fraction α of it.  Transfer wire time for ``n`` bytes is
+    ``latency + n / (bandwidth * efficiency)``.
+    """
+
+    name: str
+    src: int                      # -1 for the shared bus
+    dst: int                      # -1 for the shared bus
+    bandwidth: float              # bytes / second
+    latency: float = DEFAULT_LATENCY
+    efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {self.bandwidth}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"link efficiency must be in (0, 1], got {self.efficiency}")
+
+    def wire_seconds(self, nbytes: int) -> float:
+        """Occupancy of this link for one ``nbytes`` transfer."""
+        return self.latency + nbytes / (self.bandwidth * self.efficiency)
+
+
+@dataclass(frozen=True)
+class MeshDevice:
+    """One simulated accelerator in the mesh."""
+
+    id: int
+    name: str
+    spec: DeviceSpec
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """N devices plus the link set of one topology."""
+
+    devices: Tuple[MeshDevice, ...]
+    links: Tuple[Link, ...]
+    topology: str
+    _by_name: Dict[str, Link] = field(default_factory=dict, repr=False,
+                                      compare=False)
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}")
+        for index, device in enumerate(self.devices):
+            if device.id != index:
+                raise ValueError(
+                    f"device ids must be 0..N-1 in order, got {device.id} "
+                    f"at position {index}")
+        object.__setattr__(self, "_by_name",
+                           {link.name: link for link in self.links})
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def link(self, name: str) -> Link:
+        return self._by_name[name]
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Ordered link hops a ``src -> dst`` transfer traverses.
+
+        Multi-hop routes (the ring) are store-and-forward: the payload
+        fully occupies each hop in turn.  Ties in ring direction (exact
+        opposite device for even N) break toward increasing device id.
+        """
+        n = self.num_devices
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"no such devices: {src} -> {dst} in mesh of {n}")
+        if src == dst:
+            return []
+        if self.topology == "bus":
+            return [self._by_name["bus"]]
+        if self.topology == "p2p":
+            return [self._by_name[f"p2p:{src}->{dst}"]]
+        # ring: walk the shorter direction hop by hop.
+        forward = (dst - src) % n
+        backward = (src - dst) % n
+        step = 1 if forward <= backward else -1
+        hops: List[Link] = []
+        here = src
+        while here != dst:
+            there = (here + step) % n
+            hops.append(self._by_name[f"ring:{here}->{there}"])
+            here = there
+        return hops
+
+
+def build_mesh(
+    num_devices: int,
+    topology: str = "ring",
+    bandwidth_gbit: float = 10.0,
+    latency: float = DEFAULT_LATENCY,
+    device: DeviceSpec = P100_NVLINK,
+    efficiency: float = 0.8,
+) -> DeviceMesh:
+    """Construct a uniform mesh: N copies of ``device``, one topology.
+
+    ``bandwidth_gbit`` is the per-link line rate on the paper's Figure-11
+    axis (Gbit/s); the bus gets a single link at that rate, which every
+    pair shares.
+    """
+    if num_devices < 1:
+        raise ValueError(f"need at least one device, got {num_devices}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"topology must be one of {TOPOLOGIES}, got {topology!r}")
+    if bandwidth_gbit <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbit}")
+    bytes_per_s = bandwidth_gbit * 1e9 / 8.0
+    devices = tuple(MeshDevice(id=i, name=f"dev{i}", spec=device)
+                    for i in range(num_devices))
+    links: List[Link] = []
+    if num_devices > 1:
+        if topology == "bus":
+            links.append(Link("bus", -1, -1, bytes_per_s, latency, efficiency))
+        elif topology == "p2p":
+            for a in range(num_devices):
+                for b in range(num_devices):
+                    if a != b:
+                        links.append(Link(f"p2p:{a}->{b}", a, b,
+                                          bytes_per_s, latency, efficiency))
+        else:  # ring
+            for a in range(num_devices):
+                for b in ((a + 1) % num_devices, (a - 1) % num_devices):
+                    if a != b:
+                        links.append(Link(f"ring:{a}->{b}", a, b,
+                                          bytes_per_s, latency, efficiency))
+            if num_devices == 2:
+                # (a+1)%2 == (a-1)%2: dedupe the doubled pair.
+                links = list({link.name: link for link in links}.values())
+    return DeviceMesh(devices=devices, links=tuple(links), topology=topology)
