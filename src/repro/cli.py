@@ -193,6 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--queue-depth", type=int, default=512,
                        help="per-tenant admission quota (requests)")
 
+    patch = sub.add_parser(
+        "patch-bench",
+        help="streaming patch-inference bench: grid x overlap x memory "
+             "budget sweep over an input larger than single-pass capacity")
+    patch.add_argument("model")
+    patch.add_argument("--grids", default="2x2,4x4,8x8",
+                       help="comma-separated output tilings, e.g. '2x2,4x4'")
+    patch.add_argument("--overlaps", default="0,1",
+                       help="comma-separated overlaps (output rows/cols)")
+    patch.add_argument("--budgets-gib", default="16,8,4",
+                       help="comma-separated device memory budgets (GiB)")
+    patch.add_argument("--target-factor", type=int, default=2,
+                       help="input side = factor x the single-pass maximum "
+                            "(area grows as factor^2; 2 -> the 4x-area "
+                            "demonstration)")
+    patch.add_argument("--identity-side", type=int, default=0,
+                       help="also run the numeric byte-identity check at "
+                            "this input side (0 = skip)")
+    patch.add_argument("--compile", action="store_true",
+                       help="compile per-tile graphs (fusion + constant "
+                            "folding) before planning")
+
     compile_ = sub.add_parser(
         "compile",
         help="run the graph compiler; report per-pass rewrites")
@@ -735,6 +757,138 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _parse_grid(text: str) -> tuple:
+    parts = text.lower().split("x")
+    if len(parts) != 2:
+        raise _UsageError(f"grid {text!r} must look like '4x4'")
+    try:
+        grid = (int(parts[0]), int(parts[1]))
+    except ValueError:
+        raise _UsageError(f"grid {text!r} must look like '4x4'") from None
+    if grid[0] < 1 or grid[1] < 1:
+        raise _UsageError(f"grid {text!r} must be >= 1 per axis")
+    return grid
+
+
+def _cmd_patch_bench(args) -> int:
+    """Sweep grid x overlap x memory budget for one dense model.
+
+    The headline demonstration: find the largest input side the modelled
+    device serves in a single unsplit pass, then serve an input
+    ``--target-factor`` times that side (>= 4x the area at the default
+    factor 2) under each bounded budget via streamed patch plans.
+
+    ``REPRO_SMOKE=1`` truncates everything — first grid, first overlap,
+    one small budget — so CI exercises the full code path in seconds.
+    """
+    import os
+
+    from .infer import PatchInferer
+    from .profile.device import P100_NVLINK
+
+    gib = 1 << 30
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    device = P100_NVLINK
+    model = _build_named_model(args.model, 0.0, 1)
+    model.eval()
+    grids = [_parse_grid(g) for g in args.grids.split(",") if g]
+    overlaps = [int(o) for o in args.overlaps.split(",") if o]
+    budgets = [int(float(b) * gib)
+               for b in args.budgets_gib.split(",") if b]
+    identity_side = args.identity_side
+    if smoke:
+        grids = grids[:1]
+        overlaps = overlaps[:1]
+        budgets = [min(device.memory_capacity, gib // 4)]
+    baseline_budget = budgets[0] if smoke else device.memory_capacity
+
+    try:
+        inferer = PatchInferer(model, device=device, numeric=False,
+                               compile_plans=args.compile)
+    except TypeError as error:
+        raise _UsageError(str(error)) from None
+    single = inferer.max_single_pass_side(budget=baseline_budget)
+    single_peak = inferer.unsplit_entry((single, single), 1).plan.device_peak
+    side = args.target_factor * single
+    unsplit_peak = inferer.unsplit_entry((side, side), 1).plan.device_peak
+    factor_area = (side * side) / (single * single)
+    print(f"model            : {model.name}"
+          f"{' (compiled)' if args.compile else ''}")
+    print(f"device           : {device.name} "
+          f"({device.memory_capacity / gib:.2f} GiB"
+          f"{', smoke budget %.2f GiB' % (baseline_budget / gib) if smoke else ''})")
+    print(f"single-pass max  : side {single} "
+          f"(peak {single_peak / gib:.3f} GiB <= "
+          f"{baseline_budget / gib:.2f} GiB)")
+    print(f"target input     : side {side} = {factor_area:.1f}x the "
+          f"single-pass area; unsplit peak {unsplit_peak / gib:.3f} GiB "
+          f"({'does not fit' if unsplit_peak > baseline_budget else 'fits'})")
+
+    served_target = False
+    for budget in budgets:
+        # One inferer serves every budget: variant plans do not depend
+        # on the budget (only the patch-batch search reads it), so the
+        # sweep shares one plan cache.
+        inferer.memory_budget = budget
+        for grid in grids:
+            for overlap in overlaps:
+                try:
+                    report = inferer.plan_dense((side, side), grid, overlap)
+                except ValueError as error:
+                    print(f"patch-bench model={model.name} input={side} "
+                          f"grid={grid[0]}x{grid[1]} overlap={overlap} "
+                          f"budget_gib={budget / gib:.2f} UNSERVABLE "
+                          f"({error})")
+                    continue
+                served_target = served_target \
+                    or budget <= baseline_budget
+                print(f"patch-bench model={model.name} input={side} "
+                      f"grid={grid[0]}x{grid[1]} overlap={overlap} "
+                      f"budget_gib={budget / gib:.2f} "
+                      f"patches={report.patches} "
+                      f"variants={report.variants} "
+                      f"patch_batch={report.patch_batch} "
+                      f"executions={report.executions} "
+                      f"peak_gib={report.peak_bytes / gib:.3f} "
+                      f"latency_ms={report.latency * 1e3:.2f}")
+    if served_target:
+        print(f"demonstration    : input {side}x{side} "
+              f"({factor_area:.1f}x the largest single-pass area) served "
+              f"under a bounded plan; unsplit it needs "
+              f"{unsplit_peak / gib:.3f} GiB")
+
+    if identity_side:
+        import numpy as np
+
+        numeric = PatchInferer(model, device=device,
+                               compile_plans=args.compile)
+        rng = np.random.default_rng(0)
+        image = rng.standard_normal(
+            (1, numeric.in_channels, identity_side, identity_side))
+        reference = numeric.run_unsplit(image)
+        checked = []
+        for grid, overlap in [((2, 2), 0), ((2, 2), 1)]:
+            merged = numeric.infer(image, grid=grid, overlap=overlap,
+                                   merge="valid")
+            if merged.tobytes() != reference.tobytes():
+                print(f"identity         : FAILED at side {identity_side} "
+                      f"grid {grid[0]}x{grid[1]} overlap {overlap}")
+                return 1
+            checked.append(f"{grid[0]}x{grid[1]}/ov{overlap}")
+        print(f"identity         : ok — merged output byte-identical to "
+              f"the unsplit pass at side {identity_side} "
+              f"({', '.join(checked)})")
+
+    cache = inferer.cache
+    stats_ok = cache.misses == len(cache) + cache.evictions
+    print(f"plan cache       : {cache.hits} hits / {cache.misses} misses "
+          f"/ {cache.evictions} evictions / {len(cache)} resident "
+          f"[invariant {'ok' if stats_ok else 'VIOLATED'}]")
+    if not stats_ok:
+        return 1
+    return 0 if served_target else 1
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig8": _cmd_fig8,
@@ -747,6 +901,7 @@ _COMMANDS = {
     "verify-plan": _cmd_verify_plan,
     "serve-bench": _cmd_serve_bench,
     "fleet-bench": _cmd_fleet_bench,
+    "patch-bench": _cmd_patch_bench,
     "compile": _cmd_compile,
     "lint": _cmd_lint,
     "info": _cmd_info,

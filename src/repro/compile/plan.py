@@ -165,13 +165,20 @@ class CompiledPlan:
         """Execute the lowered plan; same output dict as the interpreter:
         ``{'loss', 'grad(<param>)': ...}`` / ``{'logits': ...}``."""
         self.release_intermediates()
+        input_array = np.asarray(input_array)
         if tuple(input_array.shape) != self._input_tensor.shape:
             raise ValueError(
                 f"input shape {input_array.shape} != graph input "
                 f"{self._input_tensor.shape}"
             )
-        self.values[self._input_tensor.id] = np.asarray(input_array,
-                                                        dtype=np.float64)
+        if input_array.dtype != np.float64:
+            # Same contract as GraphExecutor.run_with_inputs: the lowered
+            # plan computes in float64, and a silent upcast would hide
+            # the producer's dtype bug.
+            raise TypeError(
+                f"input dtype {input_array.dtype} != the graph input "
+                f"dtype float64; convert explicitly")
+        self.values[self._input_tensor.id] = input_array
         self.targets = targets
         if self.workers > 1:
             self._run_wavefront()

@@ -30,7 +30,7 @@ from .stochastic import DEFAULT_OMEGA, StochasticSplitter
 
 __all__ = [
     "SplitHandler", "SplitRegion", "register_handler", "get_handler",
-    "BackResult", "conv_count",
+    "BackResult", "conv_count", "window_specs_of",
 ]
 
 
@@ -79,17 +79,21 @@ def get_handler(module: Module) -> SplitHandler:
     )
 
 
-def _specs_of(module: Module) -> Tuple[WindowSpec, WindowSpec]:
-    """WindowSpecs (h, w) of a Conv2d or pooling module."""
-    if isinstance(module, Conv2d):
-        kernel = module.kernel_size
-    else:
-        kernel = module.kernel_size
+def window_specs_of(module: Module) -> Tuple[WindowSpec, WindowSpec]:
+    """WindowSpecs (h, w) of a Conv2d or pooling module.
+
+    Public because the patch-inference tiler (:mod:`repro.infer`) walks
+    window layers through the same spec extraction the split handlers use.
+    """
+    kernel = module.kernel_size
     (pt, pb), (pl, pr) = module.padding
     return (
         WindowSpec(kernel[0], module.stride[0], pt, pb),
         WindowSpec(kernel[1], module.stride[1], pl, pr),
     )
+
+
+_specs_of = window_specs_of              # historical internal name
 
 
 class WindowOpHandler(SplitHandler):

@@ -41,7 +41,8 @@ from typing import List, Tuple
 
 __all__ = [
     "WindowSpec", "SplitScheme", "input_split_bounds", "compute_input_split",
-    "compute_paddings", "PatchPadding",
+    "compute_paddings", "PatchPadding", "receptive_interval",
+    "window_input_range",
 ]
 
 PatchPadding = Tuple[int, int]
@@ -135,6 +136,48 @@ class SplitScheme:
         return SplitScheme((0,))
 
 
+def receptive_interval(spec: WindowSpec, out_start: int,
+                       out_stop: int) -> Tuple[int, int]:
+    """Half-open input interval ``[lo, hi)`` feeding outputs
+    ``[out_start, out_stop)`` — the Eq. 1-2 primitive.
+
+    ``lo`` is the paper's ``lb(I_i)`` for a boundary at ``out_start`` (the
+    start of that output's first window) and ``hi`` is ``ub(I_i)`` for a
+    boundary at ``out_stop`` (one past the end of the last window).  The
+    interval is expressed in *unpadded* input coordinates, so it may
+    extend below 0 or beyond the input size — the overhang is exactly the
+    zero padding the unsplit op would apply there.  Both the split-scheme
+    bounds (:func:`input_split_bounds`, hence ``MeshPartitioner``'s halo
+    sizing) and the patch-inference tiler
+    (:func:`window_input_range`, hence ``repro.infer.GridSplitter``)
+    derive from this one function, which is what keeps their border
+    semantics provably identical.
+    """
+    if out_stop <= out_start:
+        raise ValueError(
+            f"empty output range [{out_start}, {out_stop})")
+    lo = out_start * spec.stride - spec.pad_begin
+    hi = (out_stop - 1) * spec.stride + spec.kernel - spec.pad_begin
+    return lo, hi
+
+
+def window_input_range(spec: WindowSpec, out_start: int, out_stop: int,
+                       input_size: int) -> Tuple[int, int, int, int]:
+    """Input slice + paddings computing outputs ``[out_start, out_stop)``
+    exactly: ``(start, stop, pad_begin, pad_end)``.
+
+    The receptive interval is clamped to the real input; whatever falls
+    outside becomes explicit padding — by construction the same zero
+    padding the unsplit op applies at the image border, so a patch at the
+    border behaves bit-for-bit like the corresponding rows of the unsplit
+    op, and an interior patch (no clamping) needs no padding at all.
+    """
+    lo, hi = receptive_interval(spec, out_start, out_stop)
+    pad_b = max(0, -lo)
+    pad_e = max(0, hi - input_size)
+    return max(lo, 0), min(hi, input_size), pad_b, pad_e
+
+
 def input_split_bounds(output_split: SplitScheme, spec: WindowSpec) -> List[Tuple[int, int]]:
     """Per-boundary ``(lb, ub)`` interval for the input split (Eq. 1-2).
 
@@ -142,11 +185,12 @@ def input_split_bounds(output_split: SplitScheme, spec: WindowSpec) -> List[Tupl
     For ``k < s`` the formulas give ``ub < lb``; the returned pair is
     normalized to ``(min, max)`` since any point between them is exact.
     """
-    k, s, p_b = spec.kernel, spec.stride, spec.pad_begin
     bounds: List[Tuple[int, int]] = [(0, 0)]
     for o_i in output_split.boundaries[1:]:
-        lb = o_i * s - p_b
-        ub = (o_i - 1) * s + k - p_b
+        # lb of the boundary = start of patch i's receptive field; ub =
+        # end of patch i-1's — the two ends of the shared Eq. 1-2 interval.
+        lb = receptive_interval(spec, o_i, o_i + 1)[0]
+        ub = receptive_interval(spec, o_i - 1, o_i)[1]
         bounds.append((min(lb, ub), max(lb, ub)))
     return bounds
 

@@ -40,7 +40,7 @@ from ..nn import (
 from .ir import Graph, TensorValue
 from .registry import infer_op_shapes, op_def
 
-__all__ = ["GraphBuilder", "build_forward_graph"]
+__all__ = ["GraphBuilder", "build_forward_graph", "params_for_builder"]
 
 GIB = 1 << 30
 
@@ -579,6 +579,28 @@ def build_forward_graph(
         _apply_inplace_abn(graph)
     graph.validate()
     return graph
+
+
+def params_for_builder(builder: GraphBuilder,
+                       model: Module) -> Dict[str, np.ndarray]:
+    """Parameter arrays for exactly the tensors ``builder`` emitted.
+
+    Subset graphs (one pipeline stage, a few mesh patches, a dense
+    features-only patch graph) reference only some of the model's
+    parameters, so the executor's count-and-order matching cannot apply;
+    the builder's param cache keys — ``(id(module), attribute)`` —
+    identify the owning module directly.
+    """
+    modules_by_id = {id(module): module for module in model.modules()}
+    params: Dict[str, np.ndarray] = {}
+    for (module_id, attribute), tensor in builder._param_cache.items():
+        module = modules_by_id.get(module_id)
+        if module is None:
+            raise KeyError(
+                f"parameter tensor {tensor.name!r} references a module "
+                "that is not part of the model")
+        params[tensor.name] = getattr(module, attribute).data
+    return params
 
 
 def _apply_inplace_abn(graph: Graph) -> None:

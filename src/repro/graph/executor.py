@@ -279,8 +279,16 @@ class GraphExecutor:
         Partitioned graphs (mesh patch chains, pipeline stages) carry
         several input tensors — the per-patch slices and the remote patch
         results arriving from other devices; :meth:`run` is the
-        single-input special case.  Raises on missing, unknown, or
-        mis-shaped bindings.
+        single-input special case.  Raises on missing, unknown,
+        mis-shaped, or mis-typed bindings.
+
+        Every kernel in the executor computes in float64, so graph
+        inputs must arrive as float64.  A wrong-dtype array (say a
+        float32 patch) used to be coerced silently — upcasting every
+        downstream kernel and hiding the producer's dtype bug — and now
+        raises ``TypeError`` instead; lossless conversion is the
+        *caller's* explicit decision.  Plain Python nested lists still
+        convert (``np.asarray`` yields float64 for float data).
         """
         self.release_intermediates()
         input_ids = {t.id for t in self.graph.tensors.values()
@@ -295,11 +303,17 @@ class GraphExecutor:
                 f"tensor ids {sorted(unknown)} are not graph inputs")
         for tensor_id, array in inputs.items():
             tensor = self.graph.tensors[tensor_id]
-            if tuple(np.shape(array)) != tensor.shape:
+            array = np.asarray(array)
+            if tuple(array.shape) != tensor.shape:
                 raise ValueError(
-                    f"input {tensor.name!r} shape {np.shape(array)} != "
+                    f"input {tensor.name!r} shape {array.shape} != "
                     f"graph input {tensor.shape}")
-            self.values[tensor_id] = np.asarray(array, dtype=np.float64)
+            if array.dtype != np.float64:
+                raise TypeError(
+                    f"input {tensor.name!r} dtype {array.dtype} != the "
+                    f"graph input dtype float64; convert explicitly "
+                    f"(silent upcasts hid producer dtype bugs)")
+            self.values[tensor_id] = array
         self.targets = targets
         if self.workers > 1:
             self._run_wavefront()

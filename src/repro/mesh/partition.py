@@ -41,6 +41,7 @@ import numpy as np
 from ..core.region import SplitRegion, get_handler
 from ..core.scheme import SplitScheme
 from ..graph import GraphBuilder, build_training_graph
+from ..graph.builder import params_for_builder
 from ..graph.executor import GraphExecutor, resolve_final_gradients
 from ..graph.ir import Graph
 from ..hmms import HMMSPlanner
@@ -163,25 +164,9 @@ def _tensor_nbytes(graph: Graph, tensor_id: int) -> int:
     return graph.tensors[tensor_id].nbytes
 
 
-def _params_for_builder(builder: GraphBuilder,
-                        model: ConvClassifier) -> Dict[str, np.ndarray]:
-    """Parameter arrays for exactly the tensors ``builder`` emitted.
-
-    Subset graphs (one pipeline stage, a few patches) reference only some
-    of the model's parameters, so the executor's count-and-order matching
-    cannot apply; the builder's param cache keys — ``(id(module),
-    attribute)`` — identify the owning module directly.
-    """
-    modules_by_id = {id(module): module for module in model.modules()}
-    params: Dict[str, np.ndarray] = {}
-    for (module_id, attribute), tensor in builder._param_cache.items():
-        module = modules_by_id.get(module_id)
-        if module is None:
-            raise KeyError(
-                f"parameter tensor {tensor.name!r} references a module "
-                "that is not part of the model")
-        params[tensor.name] = getattr(module, attribute).data
-    return params
+# Shared with repro.infer's patch graphs: subset graphs bind parameters
+# through the builder's param cache, not count-and-order matching.
+_params_for_builder = params_for_builder
 
 
 class MeshPartitioner:
@@ -316,9 +301,9 @@ class MeshPartitioner:
         # Receptive-field halo widths: the [lb, ub] interval of every
         # input boundary (position 0 and 1 of the back-propagated scheme)
         # brackets the rows/cols whose windows straddle the chosen cut.
-        lb_h, ub_h = _boundary_bounds(handler, region, scheme_h, scheme_w,
+        lb_h, ub_h = boundary_bounds(handler, region, scheme_h, scheme_w,
                                       in_hw, axis=0)
-        lb_w, ub_w = _boundary_bounds(handler, region, scheme_h, scheme_w,
+        lb_w, ub_w = boundary_bounds(handler, region, scheme_h, scheme_w,
                                       in_hw, axis=1)
         grid = [(i, j) for i in range(in_h.num_parts)
                 for j in range(in_w.num_parts)]
@@ -553,15 +538,17 @@ def _whole_input_binding(graph: Graph) -> Dict[int, Tuple]:
             if t.kind == "input"}
 
 
-def _boundary_bounds(handler, region: SplitRegion, scheme_h: SplitScheme,
-                     scheme_w: SplitScheme, in_hw: Tuple[int, int],
-                     axis: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+def boundary_bounds(handler, region: SplitRegion, scheme_h: SplitScheme,
+                    scheme_w: SplitScheme, in_hw: Tuple[int, int],
+                    axis: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
     """Per-boundary (lb, ub) input indices for one axis of the region.
 
     Propagating the output scheme back at ``position=0`` lands every
     boundary on its lower receptive-field bound; ``position=1`` on the
     upper.  The strip between them is what an exact (non-abandoning)
-    patch execution would need from the neighbor — the halo.
+    patch execution would need from the neighbor — the halo.  Public so
+    the patch-inference tests can assert ``GridSplitter``'s tile ranges
+    land on exactly these bounds (shared Eq. 1-2 math, not a copy).
     """
     low = handler.back(region.body, scheme_h, scheme_w, in_hw, 0.0)
     high = handler.back(region.body, scheme_h, scheme_w, in_hw, 1.0)

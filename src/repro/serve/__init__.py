@@ -23,12 +23,12 @@ from .loadgen import (
 )
 from .metrics import LatencyHistogram, ServingMetrics, percentile
 from .queue import AdmissionQueue, OversizeRequestError
-from .request import Request
+from .request import DenseRequest, Request
 from .server import Server
 from .slo import BATCH, INTERACTIVE, SLO_CLASSES, STANDARD, SLOClass
 
 __all__ = [
-    "Request",
+    "Request", "DenseRequest",
     "AdmissionQueue", "OversizeRequestError",
     "DynamicBatcher",
     "ServingEngine", "CachedBatchPlan",

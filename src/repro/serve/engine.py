@@ -34,7 +34,7 @@ from ..graph.ir import Graph
 from ..hmms import HMMSPlanner, MemoryPlan, PlanCache, verify_plan
 from ..models.base import ConvClassifier
 from ..profile.device import DeviceSpec, P100_NVLINK
-from .request import Request
+from .request import DenseRequest, Request
 
 __all__ = ["CachedBatchPlan", "ServingEngine"]
 
@@ -101,6 +101,7 @@ class ServingEngine:
                 f"memory_budget must be >= 1 byte, got {memory_budget}")
         self.model = model
         self.device = device
+        self.scheduler = scheduler
         self.planner = HMMSPlanner(device=device, scheduler=scheduler)
         self.verify_plans = verify_plans
         self.numeric = numeric
@@ -125,6 +126,9 @@ class ServingEngine:
         self._split_key = str(getattr(model, "split_info", "unsplit"))
         self._max_batch: Optional[int] = None
         self._logits: Dict[int, np.ndarray] = {}
+        self._dense_inferer = None      # built on first DenseRequest
+        self._dense_verified_seen = 0
+        self._dense_outputs: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -260,6 +264,63 @@ class ServingEngine:
         return bucket
 
     # ------------------------------------------------------------------
+    # Dense (patch-inference) workloads
+    # ------------------------------------------------------------------
+    @property
+    def dense_inferer(self):
+        """The engine's :class:`~repro.infer.PatchInferer`, built lazily.
+
+        Shares the engine's plan cache — classification buckets and
+        per-tile variant plans co-tenant one cache, which is the ISSUE's
+        "one engine mixes both workloads" requirement — plus its device,
+        scheduler, memory budget and compile pipeline settings.
+        """
+        if self._dense_inferer is None:
+            # Deferred import: repro.infer is only paid for by engines
+            # that actually see dense traffic.
+            from ..infer import PatchInferer
+            self._dense_inferer = PatchInferer(
+                self.model, device=self.device, scheduler=self.scheduler,
+                verify_plans=self.verify_plans, numeric=self.numeric,
+                workers=self.workers, compile_plans=self.compile_plans,
+                memory_budget=self.memory_budget, cache=self.cache)
+        return self._dense_inferer
+
+    def _execute_dense(self, request: DenseRequest) -> float:
+        """Stream one dense request; returns its simulated latency.
+
+        Counter semantics mirror the classification path: the whole
+        request is one engine batch, each patch is an image, and the
+        zero-padded slots of the final partial patch batch per variant
+        are padded images.  ``plans_verified`` absorbs the inferer's
+        verifications by delta so the cache-consistency invariant
+        (``plans_verified == cache misses``) keeps holding for mixed
+        traffic.
+        """
+        inferer = self.dense_inferer
+        report = inferer.plan_dense(request.image_hw, request.grid,
+                                    request.overlap)
+        self.executed_batches += 1
+        self.executed_images += request.size
+        self.padded_images += \
+            report.executions * report.patch_batch - report.patches
+        if self.numeric:
+            image = self._rng.standard_normal(
+                (1, inferer.in_channels) + tuple(request.image_hw))
+            output = inferer.infer(image, grid=request.grid,
+                                   overlap=request.overlap)
+            self._dense_outputs.clear()
+            self._dense_outputs[request.id] = output[0]
+        self.plans_verified += \
+            inferer.plans_verified - self._dense_verified_seen
+        self._dense_verified_seen = inferer.plans_verified
+        return report.latency
+
+    def dense_output_for(self, request: DenseRequest) -> np.ndarray:
+        """Merged dense feature map of the most recent dense request."""
+        return self._dense_outputs[request.id]
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, requests: List[Request]) -> float:
@@ -269,9 +330,19 @@ class ServingEngine:
         executed and discarded).  With ``numeric`` enabled the logits of
         each request's images are retained until the next ``execute``
         call and can be read back via :meth:`logits_for`.
+
+        A dense request routes to the streaming patch path and must
+        arrive alone — the batcher dispatches dense requests as
+        single-request batches.
         """
         if not requests:
             raise ValueError("execute needs at least one request")
+        if any(isinstance(r, DenseRequest) for r in requests):
+            if len(requests) != 1:
+                raise ValueError(
+                    "dense requests execute alone; got a batch of "
+                    f"{len(requests)} requests containing a DenseRequest")
+            return self._execute_dense(requests[0])
         images = sum(r.size for r in requests)
         entry = self.entry_for(images)
         self.executed_batches += 1

@@ -44,7 +44,7 @@ from .batcher import DynamicBatcher
 from .engine import CachedBatchPlan, ServingEngine
 from .metrics import ServingMetrics, percentile
 from .queue import AdmissionQueue
-from .request import Request
+from .request import DenseRequest, Request
 from .slo import STANDARD, SLOClass
 
 __all__ = [
@@ -208,6 +208,7 @@ class _Replica:
     tenant: str
     id: int
     bucket: int = 0                     # 0 = idle
+    dense: bool = False                 # serving a dense (patch) request
     step_index: int = 0
     step_time: float = 0.0
     steps_per_pass: int = 1
@@ -472,6 +473,28 @@ class FleetScheduler:
 
     def _start_batch(self, tenant: _Tenant, replica: _Replica,
                      batch: List[Request], now: float) -> None:
+        metrics_t = self.metrics.tenant(tenant.config.name)
+        if len(batch) == 1 and isinstance(batch[0], DenseRequest):
+            # Dense requests stream through the engine's patch path.
+            # The engine updates its own batch/image/padding counters;
+            # the replica runs one synthetic step covering the whole
+            # stream (no joiners — the patch plans own the memory the
+            # in-flight bucket would otherwise lend out).
+            request = batch[0]
+            latency = tenant.engine.execute(batch)
+            metrics_t.batches += 1
+            metrics_t.batch_sizes[request.size] += 1
+            replica.bucket = request.size
+            replica.dense = True
+            replica.step_index = 0
+            replica.batches_started += 1
+            replica.steps_per_pass = 1
+            replica.step_time = latency
+            replica.resident_images = request.size
+            replica.completions = {1: [request]}
+            self._push(now + latency, "step", tenant.config.name,
+                       replica.id)
+            return
         images = sum(r.size for r in batch)
         entry = tenant.engine.entry_for(images)
         steps = self._steps_for(tenant, entry)
@@ -483,6 +506,7 @@ class FleetScheduler:
         engine.executed_images += images
         engine.padded_images += entry.batch - images
         replica.bucket = entry.batch
+        replica.dense = False
         replica.step_index = 0
         replica.batches_started += 1
         if self.continuous:
@@ -517,6 +541,7 @@ class FleetScheduler:
                        tenant.config.name, replica.id)
             return
         replica.bucket = 0              # drained: idle
+        replica.dense = False
         replica.resident_images = 0
         replica.idle_since = now
         self._dispatch_and_arm(tenant, now)
@@ -541,6 +566,8 @@ class FleetScheduler:
         metrics = self.metrics.tenant(tenant.config.name)
         name = tenant.config.name
         engine = tenant.engine
+        if replica.dense:
+            return                      # patch plans own the memory
         if (replica.bucket < tenant.bucket_cap
                 and tenant.queue.pending_images >= 2 * replica.bucket):
             return                      # drain, then reform bigger
@@ -550,6 +577,8 @@ class FleetScheduler:
                 metrics.expired += 1
                 tenant.queue.pop()
                 continue
+            if isinstance(head, DenseRequest):
+                return                  # dense dispatches alone, in order
             if head.size > replica.bucket - replica.resident_images:
                 return
             request = tenant.queue.pop()

@@ -19,13 +19,21 @@ __all__ = ["LatencyHistogram", "ServingMetrics", "percentile"]
 
 
 def percentile(samples: List[float], p: float) -> float:
-    """Exact percentile (nearest-rank) of a non-empty sample list."""
+    """Exact percentile (nearest-rank) of a non-empty sample list.
+
+    Nearest-rank always returns an actual sample.  Both boundaries are
+    clamped explicitly: ``p=0`` returns the minimum (``ceil(0) == 0``
+    would otherwise underflow to ``ordered[-1]`` — the *maximum* — via
+    Python's negative indexing) and ``p=100`` returns the maximum even
+    when ``ceil`` overshoots ``n`` through float rounding of
+    ``p / 100.0 * n``.
+    """
     if not samples:
         raise ValueError("percentile of an empty sample set")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
     ordered = sorted(samples)
-    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    rank = min(max(math.ceil(p / 100.0 * len(ordered)), 1), len(ordered))
     return ordered[rank - 1]
 
 
@@ -146,9 +154,16 @@ class ServingMetrics:
             )
 
     def queue_depth_p95(self) -> Optional[int]:
+        """Nearest-rank p95 of the observed queue depths.
+
+        Depths are integers and nearest-rank returns an actual sample,
+        so the result is already integral — no ``float``/``int``
+        round-trip, which used to *truncate* (and would bite the moment
+        a future percentile implementation interpolated).
+        """
         if not self.queue_depths:
             return None
-        return int(percentile([float(d) for d in self.queue_depths], 95))
+        return percentile(self.queue_depths, 95)
 
     def batch_size_summary(self) -> str:
         if not self.batch_sizes:

@@ -34,6 +34,7 @@ class Server:
         flush_timeout: float = 0.005,
         queue_depth: int = 256,
         max_batch_images: Optional[int] = None,
+        max_pending_images: Optional[int] = None,
     ) -> None:
         self.engine = engine
         max_images = max_batch_images if max_batch_images is not None \
@@ -45,8 +46,13 @@ class Server:
             )
         self.batcher = DynamicBatcher(max_batch_images=max_images,
                                       flush_timeout=flush_timeout)
+        # ``max_pending_images`` bounds queued *work* (a dense request
+        # weighs its whole patch total), on top of the request-depth
+        # bound — the knob that makes admission control actually bound
+        # memory when classification and dense traffic mix.
         self.queue = AdmissionQueue(max_depth=queue_depth,
-                                    max_request_size=max_images)
+                                    max_request_size=max_images,
+                                    max_pending_images=max_pending_images)
         self.metrics = ServingMetrics()
         self.engine_free = 0.0
         self.clock = 0.0              # last event time (arrival or dispatch)

@@ -96,6 +96,24 @@ class TestExecutorValidation:
         with pytest.raises(ValueError):
             GraphExecutor(graph, params).run(np.zeros((5, 3, 32, 32)))
 
+    def test_wrong_input_dtype_rejected(self, rng):
+        """Regression: a float32 patch used to be silently upcast to
+        float64, hiding the producer's dtype bug; both executors now
+        reject it."""
+        from repro.compile import CompiledPlan
+        from repro.graph import build_inference_graph
+        model = small_vgg(num_classes=3, rng=rng)
+        graph = build_inference_graph(model, 2)
+        params = GraphExecutor.parameters_from_model(graph, model)
+        patch = np.zeros((2, 3, 32, 32), dtype=np.float32)
+        with pytest.raises(TypeError, match="float64"):
+            GraphExecutor(graph, params).run(patch)
+        with pytest.raises(TypeError, match="float64"):
+            CompiledPlan(graph, params).run(patch)
+        # The exact-dtype input still runs.
+        out = GraphExecutor(graph, params).run(patch.astype(np.float64))
+        assert "logits" in out
+
     def test_loss_requires_targets(self, rng):
         model = small_vgg(num_classes=3, rng=rng)
         graph = build_training_graph(model, 2)

@@ -451,3 +451,68 @@ class TestFleetAccountingFuzz:
         metrics.tenant("bad").arrived = 1
         with pytest.raises(AssertionError, match="tenant 'bad'"):
             metrics.check_accounting()
+
+
+# ----------------------------------------------------------------------
+# Mixed dense + classification tenants
+# ----------------------------------------------------------------------
+class TestMixedDenseFleet:
+    """One fleet serving a classification tenant next to a dense
+    (patch-inference) tenant: exact accounting, no joiners into dense
+    replicas, plan-verification invariant on the dense engine."""
+
+    def make_fleet(self, continuous=True):
+        tenants = [
+            small_tenant("cls", rps=800.0),
+            small_tenant("dense", model="small_vgg", rps=200.0,
+                         queue_depth=8),
+        ]
+        return small_fleet(tenants, continuous=continuous)
+
+    def make_trace(self, n=40, seed=3):
+        from repro.serve import DenseRequest
+        rng = np.random.default_rng(seed)
+        arrivals, clock = [], 0.0
+        for i in range(n):
+            clock += float(rng.exponential(0.0005))
+            if rng.random() < 0.3:
+                hw = (32, 32) if rng.random() < 0.5 else (64, 64)
+                arrivals.append(DenseRequest(
+                    id=i, arrival_time=clock, tenant="dense",
+                    image_hw=hw, grid=(2, 2)))
+            else:
+                arrivals.append(Request(
+                    id=i, arrival_time=clock, tenant="cls",
+                    size=int(rng.integers(1, 3))))
+        return arrivals
+
+    @pytest.mark.parametrize("continuous", [False, True])
+    def test_mixed_trace_accounts_exactly(self, continuous):
+        fleet = self.make_fleet(continuous=continuous)
+        arrivals = self.make_trace()
+        metrics = fleet.run(arrivals)       # run() checks accounting
+        assert all(v == 0 for v in fleet.still_queued().values())
+        dense_m = metrics.tenant("dense")
+        assert dense_m.completed_requests > 0
+        # Every dense batch is exactly one request of its patch total.
+        assert set(dense_m.batch_sizes) <= {4}
+        dense_engine = fleet.tenants["dense"].engine
+        completed_patches = sum(
+            r.size for r in arrivals
+            if r.tenant == "dense" and r.completion_time is not None)
+        assert dense_engine.executed_images >= completed_patches
+        # The fleet shares one plan cache across tenants, so the
+        # verification invariant holds fleet-wide: every miss was built
+        # by exactly one engine and verified there.
+        verified = sum(t.engine.plans_verified
+                       for t in fleet.tenants.values())
+        assert verified == dense_engine.cache.misses
+
+    def test_no_joiners_into_dense_replicas(self):
+        fleet = self.make_fleet(continuous=True)
+        metrics = fleet.run(self.make_trace(n=60, seed=5))
+        # Classification joins may happen; dense ones never do — a dense
+        # replica's synthetic step admits no joiners, so the dense
+        # tenant's join counter stays zero.
+        assert fleet.metrics.joins["dense"] == 0
+        assert metrics.tenant("dense").completed_requests > 0

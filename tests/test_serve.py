@@ -8,12 +8,12 @@ from repro.graph import build_inference_graph, build_training_graph
 from repro.hmms import (
     POOL_DEVICE_PARAM, HMMSPlanner, PlanCache, verify_plan,
 )
-from repro.models import build_model, small_resnet
+from repro.models import build_model, small_resnet, small_vgg
 from repro.nn import init
 from repro.serve import (
-    AdmissionQueue, BenchConfig, DynamicBatcher, OversizeRequestError,
-    Request, Server, ServingEngine, ServingMetrics, percentile,
-    poisson_arrivals, run_bench,
+    AdmissionQueue, BenchConfig, DenseRequest, DynamicBatcher,
+    OversizeRequestError, Request, Server, ServingEngine, ServingMetrics,
+    percentile, poisson_arrivals, run_bench,
 )
 
 
@@ -566,3 +566,187 @@ class TestEngineParallelExecutor:
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError, match="workers"):
             make_engine(workers=0)
+
+
+# ----------------------------------------------------------------------
+# Percentile boundary semantics (p=0 / p=100 regression pins)
+# ----------------------------------------------------------------------
+class TestPercentileBoundaries:
+    """p=0 must return the minimum: ``ceil(0) == 0`` used to index
+    ``ordered[-1]`` — the *maximum* — via negative indexing."""
+
+    def test_p0_returns_minimum(self):
+        assert percentile([5.0, 1.0, 9.0], 0) == 1.0
+
+    def test_p100_returns_maximum(self):
+        assert percentile([5.0, 1.0, 9.0], 100) == 9.0
+
+    def test_single_sample_any_p(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.0], p) == 7.0
+
+    def test_nearest_rank_returns_actual_samples(self):
+        samples = [0.4, 0.1, 0.3, 0.2]
+        for p in (0, 25, 50, 75, 100):
+            assert percentile(samples, p) in samples
+
+    def test_queue_depth_p95_is_exact_sample(self):
+        metrics = ServingMetrics()
+        metrics.queue_depths = list(range(1, 21))
+        depth = metrics.queue_depth_p95()
+        # Nearest-rank over 20 integer samples: rank ceil(0.95*20)=19.
+        assert depth == 19
+        assert metrics.queue_depth_p95() == percentile(
+            metrics.queue_depths, 95)
+
+    def test_queue_depth_p95_empty_is_none(self):
+        assert ServingMetrics().queue_depth_p95() is None
+
+
+# ----------------------------------------------------------------------
+# Dense requests: derived size, admission, dispatch-alone batching
+# ----------------------------------------------------------------------
+class TestDenseRequest:
+    def test_size_is_the_patch_total(self):
+        request = DenseRequest(id=0, arrival_time=0.0,
+                               image_hw=(256, 256), grid=(4, 4))
+        assert request.size == 16
+        assert request.patches == 16
+
+    def test_constructor_size_is_overridden(self):
+        # Counting a dense request as 1 is the accounting bug; the
+        # derived size wins over whatever the caller passes.
+        request = DenseRequest(id=0, arrival_time=0.0, size=1,
+                               image_hw=(64, 64), grid=(2, 3))
+        assert request.size == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="image_hw"):
+            DenseRequest(id=0, arrival_time=0.0, image_hw=(0, 64))
+        with pytest.raises(ValueError, match="grid"):
+            DenseRequest(id=0, arrival_time=0.0, image_hw=(64, 64),
+                         grid=(0, 2))
+        with pytest.raises(ValueError, match="overlap"):
+            DenseRequest(id=0, arrival_time=0.0, image_hw=(64, 64),
+                         overlap=-1)
+
+
+class TestDenseAdmission:
+    def test_dense_exempt_from_oversize_but_weighed(self):
+        queue = AdmissionQueue(max_depth=8, max_request_size=4)
+        with pytest.raises(OversizeRequestError):
+            queue.offer(Request(id=0, arrival_time=0.0, size=16))
+        dense = DenseRequest(id=1, arrival_time=0.0,
+                             image_hw=(256, 256), grid=(4, 4))
+        assert queue.offer(dense)         # streamed, never batched whole
+        assert queue.pending_images == 16
+
+    def test_max_pending_images_bounds_dense_work(self):
+        queue = AdmissionQueue(max_depth=8, max_request_size=4,
+                               max_pending_images=20)
+        dense = DenseRequest(id=0, arrival_time=0.0,
+                             image_hw=(256, 256), grid=(4, 4))
+        assert queue.offer(dense)
+        assert not queue.offer(DenseRequest(
+            id=1, arrival_time=0.0, image_hw=(256, 256), grid=(4, 4)))
+        assert queue.offer(Request(id=2, arrival_time=0.0, size=4))
+        assert not queue.offer(Request(id=3, arrival_time=0.0, size=1))
+        queue.pop()                       # dense head leaves
+        assert queue.offer(Request(id=4, arrival_time=0.0, size=4))
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError, match="max_pending_images"):
+            AdmissionQueue(max_depth=4, max_request_size=4,
+                           max_pending_images=0)
+
+
+class TestDenseBatching:
+    def test_dense_dispatches_alone_in_arrival_order(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=8)
+        batcher = DynamicBatcher(max_batch_images=8, flush_timeout=0.01)
+        metrics = ServingMetrics()
+        queue.offer(Request(id=0, arrival_time=0.0))
+        queue.offer(Request(id=1, arrival_time=0.1))
+        queue.offer(DenseRequest(id=2, arrival_time=0.2,
+                                 image_hw=(64, 64), grid=(2, 2)))
+        queue.offer(Request(id=3, arrival_time=0.3))
+        first = batcher.form_batch(queue, 1.0, metrics)
+        assert [r.id for r in first] == [0, 1]   # stops at the dense head
+        second = batcher.form_batch(queue, 1.0, metrics)
+        assert [r.id for r in second] == [2]     # dense alone
+        third = batcher.form_batch(queue, 1.0, metrics)
+        assert [r.id for r in third] == [3]
+
+    def test_dense_head_is_its_own_crossing(self):
+        queue = AdmissionQueue(max_depth=16, max_request_size=8)
+        batcher = DynamicBatcher(max_batch_images=8, flush_timeout=0.5)
+        queue.offer(DenseRequest(id=0, arrival_time=1.0,
+                                 image_hw=(64, 64), grid=(2, 2)))
+        # A dense head is a full batch by itself: ready at arrival, not
+        # at the flush timer.
+        assert batcher.ready_at(queue) == pytest.approx(1.0)
+
+
+class TestMixedServing:
+    """Satellite fuzz: random classification + dense traffic through the
+    full Server loop, exact accounting at the end."""
+
+    def make_dense_engine(self, **kwargs):
+        kwargs.setdefault("batch_cap", 8)
+        model = small_vgg(rng=np.random.default_rng(0))
+        return ServingEngine(model, **kwargs)
+
+    def test_dense_request_served_end_to_end(self):
+        engine = self.make_dense_engine()
+        server = Server(engine, flush_timeout=0.005)
+        dense = DenseRequest(id=0, arrival_time=0.0,
+                             image_hw=(64, 64), grid=(2, 2))
+        metrics = server.run([dense])
+        metrics.check_accounting()
+        assert metrics.completed_requests == 1
+        assert engine.executed_images == 4          # the patch total
+        assert engine.plans_verified == engine.cache.misses
+
+    def test_numeric_dense_output_matches_inferer(self):
+        engine = self.make_dense_engine(numeric=True)
+        dense = DenseRequest(id=0, arrival_time=0.0,
+                             image_hw=(64, 64), grid=(2, 2))
+        engine.execute([dense])
+        output = engine.dense_output_for(dense)
+        assert output.shape == (64, 8, 8)
+
+    def test_engine_rejects_dense_mixed_into_a_batch(self):
+        engine = self.make_dense_engine()
+        dense = DenseRequest(id=0, arrival_time=0.0,
+                             image_hw=(64, 64), grid=(2, 2))
+        with pytest.raises(ValueError, match="alone"):
+            engine.execute([dense, Request(id=1, arrival_time=0.0)])
+
+    def test_fuzz_mixed_traffic_accounting(self):
+        rng = np.random.default_rng(7)
+        engine = self.make_dense_engine()
+        server = Server(engine, flush_timeout=0.004, queue_depth=6,
+                        max_pending_images=24)
+        arrivals, clock = [], 0.0
+        for i in range(60):
+            clock += float(rng.exponential(0.0002))
+            if rng.random() < 0.25:
+                hw = (32, 32) if rng.random() < 0.5 else (48, 48)
+                arrivals.append(DenseRequest(
+                    id=i, arrival_time=clock, image_hw=hw, grid=(2, 2)))
+            else:
+                arrivals.append(Request(
+                    id=i, arrival_time=clock,
+                    size=int(rng.integers(1, 5))))
+        metrics = server.run(arrivals)
+        metrics.check_accounting()        # nothing lost, nothing doubled
+        assert metrics.arrived == 60
+        assert metrics.completed_requests + metrics.rejected_queue_full \
+            == 60
+        assert metrics.completed_requests > 0
+        assert metrics.rejected_queue_full > 0    # the bound really bit
+        completed_images = sum(
+            r.size for r in arrivals if r.completion_time is not None)
+        assert engine.executed_images == completed_images
+        assert engine.plans_verified == engine.cache.misses
+        assert server.queue.pending_images == 0
