@@ -1,0 +1,176 @@
+"""Abstract-interpretation dataflow pass (``SCA3xx``).
+
+Propagates a per-tensor interval/NaN lattice (:class:`AbstractTensor`)
+through the serialized graph using the registry's per-op
+:attr:`~repro.graph.registry.OpDef.abstract_eval` transfer functions,
+and checks declared dtype widths along the way.
+
+The policy is **provable-only**: a diagnostic fires only when finite
+bounds prove the hazard.  Inputs and parameters seed at the lattice top
+(unbounded), so data-dependent hazards never fire; compile-time
+constants seed with their exact element range, which is where the real
+catches live — a batchnorm running-var constant that makes
+``1/sqrt(var + eps)`` non-finite (``SCA301``), a folded ``bn_affine``
+scale containing NaN/Inf (``SCA302``), values provably outside the
+declared dtype width (``SCA303``), and dtype mismatches — mixed float
+widths inside one op, or a constant whose stored array disagrees with
+its declared ``dtype_bytes`` (``SCA304``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.ir import Graph, OpNode, TensorValue
+from ..graph.registry import ABS_TOP, DTYPE_MAX, AbstractTensor, op_def
+from .diagnostics import Diagnostic
+
+__all__ = ["interpret_graph"]
+
+# warn(kind, ...) kinds raised by abstract_eval hooks -> SCA codes.
+_WARN_CODES = {"div-zero": "SCA301", "overflow": "SCA303"}
+
+
+def _seed_constant(tensor: TensorValue, value: np.ndarray,
+                   findings: List[Diagnostic]) -> AbstractTensor:
+    """Exact abstract value of one compile-time constant, emitting
+    SCA302/SCA303/SCA304 for defects provable from the array itself."""
+    array = np.asarray(value)
+    if tuple(array.shape) != tensor.shape:
+        findings.append(Diagnostic(
+            "SCA302",
+            f"constant {tensor.name!r} stores an array of shape "
+            f"{tuple(array.shape)} but the tensor declares {tensor.shape}",
+            tensor_id=tensor.id))
+    if array.dtype.kind != "f":
+        findings.append(Diagnostic(
+            "SCA304",
+            f"constant {tensor.name!r} has non-float array dtype "
+            f"{array.dtype}; the float kernels would reject or silently "
+            "coerce it",
+            tensor_id=tensor.id))
+    elif array.dtype.itemsize != tensor.dtype_bytes:
+        findings.append(Diagnostic(
+            "SCA304",
+            f"constant {tensor.name!r} declares dtype_bytes="
+            f"{tensor.dtype_bytes} but stores {array.dtype} "
+            f"({array.dtype.itemsize} bytes) — memory accounting and "
+            "width analysis disagree with the actual value",
+            tensor_id=tensor.id))
+    if array.size == 0:
+        return AbstractTensor(0.0, 0.0)
+
+    finite_mask = np.isfinite(array)
+    may_nan = bool(np.isnan(array).any())
+    if not finite_mask.all():
+        bad = int(array.size - finite_mask.sum())
+        findings.append(Diagnostic(
+            "SCA302",
+            f"constant {tensor.name!r} contains {bad} non-finite "
+            f"element(s) out of {array.size}",
+            tensor_id=tensor.id))
+    finite = array[finite_mask]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 0.0
+    if np.isneginf(array).any():
+        lo = float("-inf")
+    if np.isposinf(array).any():
+        hi = float("inf")
+
+    limit = DTYPE_MAX.get(tensor.dtype_bytes)
+    if limit is not None and finite.size:
+        peak = max(abs(lo), abs(hi))
+        if np.isfinite(peak) and peak > limit:
+            findings.append(Diagnostic(
+                "SCA303",
+                f"constant {tensor.name!r} holds values up to {peak:g}, "
+                f"beyond the {tensor.dtype_bytes}-byte float maximum "
+                f"{limit:g}",
+                tensor_id=tensor.id))
+    return AbstractTensor(lo, hi, may_nan)
+
+
+def _check_output_range(graph: Graph, op: OpNode, tensor_id: int,
+                        value: AbstractTensor,
+                        findings: List[Diagnostic]) -> None:
+    tensor = graph.tensors.get(tensor_id)
+    if tensor is None or not value.bounded:
+        return
+    limit = DTYPE_MAX.get(tensor.dtype_bytes)
+    if limit is None:
+        return
+    peak = max(abs(value.lo), abs(value.hi))
+    if peak > limit:
+        findings.append(Diagnostic(
+            "SCA303",
+            f"op {op.name!r} ({op.op_type}) provably produces values up "
+            f"to {peak:g} in {tensor.name!r}, beyond the "
+            f"{tensor.dtype_bytes}-byte float maximum {limit:g}",
+            op_ids=(op.id,), tensor_id=tensor_id))
+
+
+def _check_dtype_widths(graph: Graph, op: OpNode,
+                        findings: List[Diagnostic]) -> None:
+    # Single-byte tensors are boolean masks by convention (dropout keep
+    # masks) — mixing one with float data is how masking works.  Mixing
+    # two *float* widths (2/4/8 bytes) in one op is the hazard: the
+    # kernels compute at one width and would silently promote or
+    # truncate the other operand.
+    widths: Dict[int, str] = {}
+    for tensor_id in tuple(op.inputs) + tuple(op.outputs):
+        tensor = graph.tensors.get(tensor_id)
+        if tensor is not None and tensor.dtype_bytes in DTYPE_MAX:
+            widths.setdefault(tensor.dtype_bytes, tensor.name)
+    if len(widths) > 1:
+        detail = ", ".join(f"{name!r}={width}B"
+                           for width, name in sorted(widths.items()))
+        findings.append(Diagnostic(
+            "SCA304",
+            f"op {op.name!r} ({op.op_type}) mixes declared dtype widths: "
+            f"{detail}",
+            op_ids=(op.id,)))
+
+
+def interpret_graph(graph: Graph) -> List[Diagnostic]:
+    """Run the interval/dtype abstract interpreter over ``graph``."""
+    findings: List[Diagnostic] = []
+    env: Dict[int, AbstractTensor] = {}
+
+    for tensor in graph.tensors.values():
+        if tensor.kind != "constant":
+            continue
+        value: Optional[np.ndarray] = graph.constants.get(tensor.id)
+        if value is None:
+            findings.append(Diagnostic(
+                "SCA302",
+                f"constant tensor {tensor.name!r} has no value in "
+                "graph.constants — plan lowering would fail with KeyError",
+                tensor_id=tensor.id))
+            continue
+        env[tensor.id] = _seed_constant(tensor, value, findings)
+
+    for op in graph.ops:
+        _check_dtype_widths(graph, op, findings)
+        ins = [env.get(tensor_id, ABS_TOP) for tensor_id in op.inputs]
+
+        def warn(kind: str, message: str, _op: OpNode = op) -> None:
+            findings.append(Diagnostic(
+                _WARN_CODES[kind],
+                f"op {_op.name!r} ({_op.op_type}): {message}",
+                op_ids=(_op.id,)))
+
+        hook = op_def(op.op_type).abstract_eval
+        if hook is not None:
+            outs = list(hook(op, ins, warn))
+        else:
+            top = AbstractTensor(may_nan=any(v.may_nan for v in ins))
+            outs = [top] * len(op.outputs)
+        if len(outs) != len(op.outputs):      # defensive: registry bug
+            outs = (outs + [ABS_TOP] * len(op.outputs))[:len(op.outputs)]
+        for tensor_id, out in zip(op.outputs, outs):
+            env[tensor_id] = out
+            _check_output_range(graph, op, tensor_id, out, findings)
+
+    return findings

@@ -6,7 +6,10 @@ than to message text.  Codes are grouped by pass:
 
 - ``SCA0xx`` — graph lint (structure, shapes, reachability);
 - ``SCA1xx`` — concurrency hazards under the wavefront executor;
-- ``SCA2xx`` — determinism audit.
+- ``SCA2xx`` — determinism audit;
+- ``SCA3xx`` — abstract interpretation (interval/dtype dataflow);
+- ``SCA4xx`` — lowering verification of :class:`CompiledPlan` artifacts;
+- ``SCA5xx`` — serving/fleet/infer configuration lint.
 
 Findings anchor to graph objects (op ids, tensor ids, TSO ids), not to
 source files; the SARIF emitter maps them onto logical locations so
@@ -22,8 +25,9 @@ from typing import Any, Dict, List, Optional, Tuple
 __all__ = [
     "SEV_ERROR", "SEV_WARNING",
     "PASS_LINT", "PASS_RACES", "PASS_DETERMINISM",
-    "DiagnosticSpec", "CODES", "Diagnostic", "AnalysisReport",
-    "GraphAnalysisError",
+    "PASS_ABSINT", "PASS_LOWERING", "PASS_CONFIG",
+    "HELP_URI", "DiagnosticSpec", "CODES", "Diagnostic", "AnalysisReport",
+    "GraphAnalysisError", "sarif_rules", "sarif_result",
 ]
 
 SEV_ERROR = "error"
@@ -32,6 +36,13 @@ SEV_WARNING = "warning"
 PASS_LINT = "graph-lint"
 PASS_RACES = "concurrency"
 PASS_DETERMINISM = "determinism"
+PASS_ABSINT = "absint"
+PASS_LOWERING = "lowering"
+PASS_CONFIG = "config-lint"
+
+# Every rule's helpUri points at its family section in the analyzer doc.
+HELP_URI = ("https://github.com/split-cnn-repro/blob/main/docs/"
+            "static_analysis.md")
 
 
 @dataclass(frozen=True)
@@ -115,6 +126,80 @@ _SPECS = [
         "A stochastic op is missing a per-op seed attribute, or shares "
         "its seed with another stochastic op — replay and parallel "
         "execution would not be bit-reproducible."),
+    # --- abstract interpretation ----------------------------------------
+    DiagnosticSpec(
+        "SCA301", "possible-division-by-zero", SEV_ERROR, PASS_ABSINT,
+        "Interval analysis proves a divisor or inverse-sqrt argument can "
+        "reach zero or below — e.g. a batchnorm running-var constant with "
+        "var + eps <= 0, or a dropout rate that zeroes the inverted-"
+        "dropout scale — so the op emits Inf/NaN (or silently zeroes its "
+        "output) at run time."),
+    DiagnosticSpec(
+        "SCA302", "non-finite-constant", SEV_ERROR, PASS_ABSINT,
+        "A compile-time constant contains NaN or Inf, has no stored "
+        "value, or its array shape disagrees with the tensor's recorded "
+        "shape — e.g. a folded bn_affine scale computed from corrupt "
+        "running statistics."),
+    DiagnosticSpec(
+        "SCA303", "interval-overflow", SEV_ERROR, PASS_ABSINT,
+        "The interval lattice proves a tensor's values exceed the finite "
+        "range of its declared dtype width, so the value overflows to "
+        "Inf when materialized at that width."),
+    DiagnosticSpec(
+        "SCA304", "dtype-mismatch", SEV_ERROR, PASS_ABSINT,
+        "An op mixes tensors of different declared dtype widths, or a "
+        "compile-time constant's array dtype differs from the executors' "
+        "float64 contract — today this only surfaces as a runtime "
+        "TypeError (or a silent precision loss)."),
+    # --- lowering verification ------------------------------------------
+    DiagnosticSpec(
+        "SCA401", "kernel-binding-mismatch", SEV_ERROR, PASS_LOWERING,
+        "The lowered step list does not cover every source op exactly "
+        "once in serialized order with the kernel the registry declares "
+        "for its op type."),
+    DiagnosticSpec(
+        "SCA402", "dependency-array-mismatch", SEV_ERROR, PASS_LOWERING,
+        "The plan's dense wavefront arrays (remaining-dependency counts, "
+        "dependent lists, initial ready set) disagree with the dependency "
+        "DAG re-derived from tensor producers and forward_of links."),
+    DiagnosticSpec(
+        "SCA403", "refcount-mismatch", SEV_ERROR, PASS_LOWERING,
+        "The plan's eager-free refcounts disagree with independently "
+        "re-derived consumer counts, or the plan would free a pinned "
+        "value (parameter, constant, run output, or final gradient)."),
+    DiagnosticSpec(
+        "SCA404", "twin-retarget-mismatch", SEV_ERROR, PASS_LOWERING,
+        "A backward op's precomputed forward reference, saved-context "
+        "refcount, or per-op seed pair disagrees with the source graph — "
+        "e.g. a fused op whose backward twins were not retargeted."),
+    DiagnosticSpec(
+        "SCA405", "constant-table-mismatch", SEV_ERROR, PASS_LOWERING,
+        "A persistent value the plan seeds at build time (parameter or "
+        "constant) is missing, shape-inconsistent, or non-finite — or a "
+        "non-persistent tensor is seeded as if it were."),
+    # --- configuration lint ---------------------------------------------
+    DiagnosticSpec(
+        "SCA501", "ledger-overcommit", SEV_ERROR, PASS_CONFIG,
+        "Tenant reservations cannot co-fit the DeviceLedger capacity, or "
+        "a reservation is smaller than the HMMS plan peak of the "
+        "tenant's capped bucket — a served batch would exceed device "
+        "memory."),
+    DiagnosticSpec(
+        "SCA502", "infeasible-slo", SEV_ERROR, PASS_CONFIG,
+        "A tenant's SLO deadline does not exceed the modelled inference "
+        "latency of its bucket: requests expire before any batch can "
+        "complete (error at batch 1; warning when only the capped "
+        "bucket overruns)."),
+    DiagnosticSpec(
+        "SCA503", "memory-budget-overflow", SEV_ERROR, PASS_CONFIG,
+        "A planned graph's device peak exceeds the memory budget its "
+        "owner is configured with — a serving bucket or patch-variant "
+        "plan that cannot execute without breaking the budget."),
+    DiagnosticSpec(
+        "SCA504", "unfingerprinted-cache-key", SEV_ERROR, PASS_CONFIG,
+        "A plan-cache key does not end with a pipeline fingerprint, so "
+        "compiled and interpreted plans for the same model and bucket "
+        "can collide in a shared cache."),
 ]
 
 CODES: Dict[str, DiagnosticSpec] = {spec.code: spec for spec in _SPECS}
@@ -242,36 +327,7 @@ class AnalysisReport:
     def to_sarif(self) -> Dict[str, Any]:
         """SARIF 2.1.0 log (one run).  Anchors become logical locations —
         the graph has no physical source files."""
-        rules = [
-            {
-                "id": spec.code,
-                "name": spec.title,
-                "shortDescription": {"text": spec.title},
-                "fullDescription": {"text": spec.description},
-                "defaultConfiguration": {
-                    "level": "error" if spec.severity == SEV_ERROR
-                    else "warning",
-                },
-            }
-            for spec in _SPECS
-        ]
-        results = []
-        for d in self.findings:
-            logical = [{"name": f"op:{op_id}", "kind": "function"}
-                       for op_id in d.op_ids]
-            if d.tensor_id is not None:
-                logical.append({"name": f"tensor:{d.tensor_id}",
-                                "kind": "variable"})
-            if d.tso_id is not None:
-                logical.append({"name": f"tso:{d.tso_id}", "kind": "object"})
-            result: Dict[str, Any] = {
-                "ruleId": d.code,
-                "level": "error" if d.severity == SEV_ERROR else "warning",
-                "message": {"text": d.message},
-            }
-            if logical:
-                result["locations"] = [{"logicalLocations": logical}]
-            results.append(result)
+        results = [sarif_result(d) for d in self.findings]
         return {
             "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
@@ -282,7 +338,7 @@ class AnalysisReport:
                         "name": "repro-sca",
                         "informationUri":
                             "https://github.com/split-cnn-repro",
-                        "rules": rules,
+                        "rules": sarif_rules(),
                     },
                 },
                 "properties": {
@@ -293,3 +349,44 @@ class AnalysisReport:
                 "results": results,
             }],
         }
+
+
+def sarif_rules() -> List[Dict[str, Any]]:
+    """The complete ``driver.rules`` table: every registered SCA code
+    with id, name, descriptions, default level, and helpUri — emitted in
+    full regardless of which codes the run tripped, so SARIF consumers
+    can baseline-diff against a stable rule set."""
+    return [
+        {
+            "id": spec.code,
+            "name": spec.title,
+            "shortDescription": {"text": spec.title},
+            "fullDescription": {"text": spec.description},
+            "helpUri": f"{HELP_URI}#{spec.code.lower()}",
+            "defaultConfiguration": {
+                "level": "error" if spec.severity == SEV_ERROR
+                else "warning",
+            },
+        }
+        for spec in _SPECS
+    ]
+
+
+def sarif_result(d: Diagnostic) -> Dict[str, Any]:
+    """One SARIF result object for ``d`` (no suppression metadata —
+    :class:`~repro.analysis.suite.SuiteReport` layers that on top)."""
+    logical: List[Dict[str, Any]] = [
+        {"name": f"op:{op_id}", "kind": "function"} for op_id in d.op_ids
+    ]
+    if d.tensor_id is not None:
+        logical.append({"name": f"tensor:{d.tensor_id}", "kind": "variable"})
+    if d.tso_id is not None:
+        logical.append({"name": f"tso:{d.tso_id}", "kind": "object"})
+    result: Dict[str, Any] = {
+        "ruleId": d.code,
+        "level": "error" if d.severity == SEV_ERROR else "warning",
+        "message": {"text": d.message},
+    }
+    if logical:
+        result["locations"] = [{"logicalLocations": logical}]
+    return result

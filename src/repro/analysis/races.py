@@ -23,7 +23,7 @@ serialized positions): one linear sweep in serialized order, then
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Set, Tuple
 
 from ..graph.ir import Graph
 from ..graph.liveness import compute_free_plan
@@ -85,7 +85,10 @@ def detect_races(
     return findings
 
 
-def _tso_conflicts(graph, assignment, position, unordered, parallel):
+def _tso_conflicts(graph: Graph, assignment: StorageAssignment,
+                   position: Dict[int, int],
+                   unordered: Callable[[int, int], bool],
+                   parallel: bool) -> List[Diagnostic]:
     """SCA101/SCA102: unordered ops touching the same TSO, ≥1 writing."""
     if not parallel:
         return []                     # a single worker serializes every pair
@@ -104,7 +107,7 @@ def _tso_conflicts(graph, assignment, position, unordered, parallel):
         if not writes:
             continue
         op_ids = sorted(per_op)
-        reported: Set[tuple] = set()
+        reported: Set[Tuple[int, int]] = set()
         for i, a in enumerate(op_ids):
             for b in op_ids[i + 1:]:
                 if a not in writes and b not in writes:
@@ -131,7 +134,9 @@ def _tso_conflicts(graph, assignment, position, unordered, parallel):
     return findings
 
 
-def _use_after_free(graph, position, happens_before):
+def _use_after_free(graph: Graph, position: Dict[int, int],
+                    happens_before: Callable[[int, int], bool],
+                    ) -> List[Diagnostic]:
     """SCA103: a reader the eager-free refcount does not account for.
 
     The free plan drops tensor ``t`` after all counted consumers

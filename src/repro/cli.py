@@ -240,8 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: graph lint, race detector, determinism audit")
-    lint.add_argument("model")
+        help="static analysis: graph lint, abstract interpretation, race "
+             "detector, determinism audit, lowering verifier, config lint")
+    lint.add_argument("model", nargs="?", default=None,
+                      help="zoo model (omit with --matrix to lint all)")
     lint.add_argument("-b", "--batch", type=int, default=16)
     lint.add_argument("--split", type=int, default=1,
                       help="total patches (1,2,3,4,6,9); 1 = unsplit")
@@ -252,6 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "executor), 1 = serialized order")
     lint.add_argument("--inference", action="store_true",
                       help="lint the inference graph (purity enforced)")
+    lint.add_argument("--compile", action="store_true",
+                      help="compile the graph and verify the lowered "
+                           "plan (SCA4xx)")
+    lint.add_argument("--config", action="store_true",
+                      help="lint the serving-engine configuration for "
+                           "the model (SCA5xx) instead of its graph")
+    lint.add_argument("--matrix", action="store_true",
+                      help="lint the full zoo x split x compile x mode "
+                           "matrix through one cached suite")
+    lint.add_argument("--models", default=None,
+                      help="comma-separated zoo subset for --matrix")
+    lint.add_argument("--strict", action="store_true",
+                      help="ignore inline and baseline suppressions")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="JSON baseline of suppressed findings")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="write the active findings out as a new "
+                           "baseline and exit 0")
     lint.add_argument("--format", default="text",
                       choices=["text", "json", "sarif"],
                       help="report format (sarif = SARIF 2.1.0 JSON)")
@@ -695,20 +715,132 @@ def _cmd_compile(args) -> int:
     return 0 if identical else 1
 
 
+def _lint_build(model, batch: int, inference: bool, compiled: bool,
+                workers: int):
+    """(graph, plan) for one lint configuration.  Compiled inference
+    mirrors the serving engine (eval-mode batchnorm so folding applies);
+    interpreted inference mirrors the uncompiled serve path."""
+    from .graph import build_inference_graph, build_training_graph
+
+    if not compiled:
+        if inference:
+            return build_inference_graph(model, batch), None
+        return build_training_graph(model, batch), None
+
+    from .compile import CompiledPlan, default_pipeline
+    from .graph import GraphExecutor
+
+    if inference:
+        graph = build_inference_graph(model, batch, eval_batchnorm=True)
+    else:
+        graph = build_training_graph(model, batch)
+    params = GraphExecutor.parameters_from_model(graph, model)
+    default_pipeline().run(graph, params=params)
+    plan = CompiledPlan(graph, params, dropout_seed=0, workers=workers)
+    return graph, plan
+
+
+def _lint_matrix(args, suite) -> int:
+    """zoo x {split, unsplit} x {interpreted, compiled} x {train, infer}
+    through one suite (shared policy, shared fingerprint cache)."""
+    from .models import MODEL_REGISTRY
+
+    names = sorted(MODEL_REGISTRY)
+    if args.models:
+        names = [n.strip() for n in args.models.split(",") if n.strip()]
+        unknown = [n for n in names if n not in MODEL_REGISTRY]
+        if unknown:
+            raise _UsageError(
+                f"unknown model(s) {unknown}; zoo: "
+                f"{sorted(MODEL_REGISTRY)}")
+    splits = (1, args.split) if args.split > 1 else (1, 4)
+    failures = []
+    configs = 0
+    for name in names:
+        for split in splits:
+            depth = args.split_depth if split > 1 else 0.0
+            model = _build_named_model(name, depth, split)
+            for compiled in (False, True):
+                for inference in (False, True):
+                    graph, plan = _lint_build(
+                        model, args.batch, inference, compiled,
+                        args.workers)
+                    report = suite.analyze(
+                        graph, workers=args.workers, inference=inference,
+                        plan=plan)
+                    configs += 1
+                    label = (f"{name} split={split} "
+                             f"{'compiled' if compiled else 'interpreted'}"
+                             f" {'infer' if inference else 'train'}")
+                    if report.ok and not report.findings:
+                        status = "clean"
+                    else:
+                        status = (f"{len(report.errors)} errors, "
+                                  f"{len(report.warnings)} warnings")
+                    if report.suppressed:
+                        status += f", {len(report.suppressed)} suppressed"
+                    if report.cache_hit:
+                        status += " (cached)"
+                    print(f"  {label:<46} {status}")
+                    if not report.ok:
+                        failures.append(label)
+                        for finding in report.findings:
+                            print(f"    {finding}")
+    mode = "strict" if args.strict else "with suppressions"
+    print(f"{configs} configurations linted {mode}: "
+          f"{len(failures)} failing; suite cache "
+          f"{suite.cache_hits} hits / {suite.cache_misses} misses")
+    return 1 if failures else 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
-    from .analysis import analyze_graph
-    from .graph import build_inference_graph, build_training_graph
+    from .analysis import PASS_CONFIG, AnalysisSuite, Suppression
 
-    depth = args.split_depth if args.split > 1 else 0.0
-    model = _build_named_model(args.model, depth, args.split)
-    if args.inference:
-        graph = build_inference_graph(model, args.batch)
+    try:
+        suite = AnalysisSuite(baseline=args.baseline, strict=args.strict)
+    except (OSError, ValueError) as error:
+        raise _UsageError(f"bad baseline {args.baseline!r}: {error}") \
+            from None
+    if args.matrix:
+        if args.model is not None or args.config:
+            raise _UsageError(
+                "--matrix lints the whole zoo; drop the model argument "
+                "and --config")
+        if args.format != "text" or args.write_baseline:
+            raise _UsageError("--matrix reports as text only")
+        return _lint_matrix(args, suite)
+    if args.model is None:
+        raise _UsageError("a model is required unless --matrix is given")
+
+    if args.config:
+        from .analysis import lint_engine_config
+        from .serve import ServingEngine
+
+        engine = ServingEngine.from_zoo(args.model, split=args.split,
+                                        split_depth=args.split_depth)
+        report = suite.report_for(f"{args.model}:engine",
+                                  lint_engine_config(engine),
+                                  (PASS_CONFIG,))
     else:
-        graph = build_training_graph(model, args.batch)
-    report = analyze_graph(graph, workers=args.workers,
-                           inference=args.inference)
+        depth = args.split_depth if args.split > 1 else 0.0
+        model = _build_named_model(args.model, depth, args.split)
+        graph, plan = _lint_build(model, args.batch, args.inference,
+                                  args.compile, args.workers)
+        report = suite.analyze(graph, workers=args.workers,
+                               inference=args.inference, plan=plan)
+
+    if args.write_baseline:
+        from .analysis import write_baseline
+
+        entries = [Suppression(code=d.code, graph=report.graph_name,
+                               anchor=d.anchor(), reason="baselined")
+                   for d in report.findings]
+        write_baseline(args.write_baseline, entries)
+        print(f"wrote {len(entries)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
     if args.format == "json":
         print(report.to_json())
     elif args.format == "sarif":

@@ -186,9 +186,13 @@ class CompiledPlan:
             self._run_serial()
         outputs: Dict[str, np.ndarray] = {}
         for name, tensor_id in self._outputs_by_name.items():
-            outputs[name] = self.values[tensor_id]
+            value = self.values[tensor_id]
+            assert value is not None
+            outputs[name] = value
         for param_name, tensor_id in self._final_grads.items():
-            outputs[f"grad({param_name})"] = self.values[tensor_id]
+            grad = self.values[tensor_id]
+            assert grad is not None
+            outputs[f"grad({param_name})"] = grad
         return outputs
 
     # ------------------------------------------------------------------
@@ -252,7 +256,9 @@ class CompiledPlan:
                 for dep_id in dependents[op.id]:
                     remaining[dep_id] -= 1
                     if remaining[dep_id] == 0:
-                        ready_next.append(by_id[dep_id])
+                        dep_op = by_id[dep_id]
+                        assert dep_op is not None
+                        ready_next.append(dep_op)
                 ops_left -= 1
                 if ops_left == 0:
                     done.set()

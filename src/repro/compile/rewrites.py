@@ -360,6 +360,8 @@ def _apply_sibling_fusion(graph: Graph, group: List[OpNode],
     member_index = {member.id: i for i, member in enumerate(group)}
     data_twins: Dict[int, List[OpNode]] = {}
     for op in graph.ops:
+        if op.forward_of is None:
+            continue
         sibling = member_index.get(op.forward_of)
         if sibling is None:
             continue

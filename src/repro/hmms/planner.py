@@ -322,6 +322,11 @@ class PlanCache:
         self._entries[key] = entry
         return entry
 
+    def keys(self) -> Tuple[Hashable, ...]:
+        """The currently retained keys, oldest first — consumed by the
+        config lint pass (``SCA504``) to audit key fingerprinting."""
+        return tuple(self._entries)
+
     def snapshot(self) -> Tuple[int, int, int]:
         """``(hits, misses, size)`` — misses == number of plans built."""
         return self.hits, self.misses, len(self._entries)
